@@ -1,0 +1,126 @@
+// Command em-dis disassembles an EM32 object or image, annotating symbols,
+// relocations, and — for squashed images — the reserved runtime regions and
+// the compressed-region contents.
+//
+// Usage:
+//
+//	em-dis prog.exe
+//	em-dis -regions prog.sqz.exe   # also decode the compressed regions
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/objfile"
+)
+
+func main() {
+	regions := flag.Bool("regions", false, "decode compressed regions of a squashed image")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: em-dis [-regions] prog.{exe,o}")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	im, err := objfile.ReadImage(bytes.NewReader(data))
+	if err != nil {
+		obj, oerr := objfile.ReadObject(bytes.NewReader(data))
+		if oerr != nil {
+			fail(fmt.Errorf("not an image (%v) or object (%v)", err, oerr))
+		}
+		if im, err = objfile.Link("main", obj); err != nil {
+			fail(err)
+		}
+	}
+
+	symAt := map[uint32][]string{}
+	for _, s := range im.Symbols {
+		if s.Section == objfile.SecText {
+			symAt[s.Addr()] = append(symAt[s.Addr()], s.Name)
+		}
+	}
+	for _, names := range symAt {
+		sort.Strings(names)
+	}
+
+	var meta *core.Meta
+	if len(im.Meta) > 0 {
+		if meta, err = core.UnmarshalMeta(im.Meta); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: unreadable squash metadata: %v\n", err)
+		}
+	}
+
+	fmt.Printf("entry %#x, %d text words, %d data bytes\n\n", im.Entry, len(im.Text), len(im.Data))
+	for i, w := range im.Text {
+		addr := objfile.TextBase + uint32(i*4)
+		if meta != nil && addr == meta.DecompAddr {
+			fmt.Printf("\n%#x: [decompressor: %d reserved words]\n", addr, core.DecompWords)
+		}
+		if meta != nil && addr == meta.RtBufAddr {
+			fmt.Printf("\n%#x: [runtime buffer: %d bytes]\n", addr, meta.K)
+		}
+		if meta != nil && inReserved(meta, addr) {
+			continue
+		}
+		for _, n := range symAt[addr] {
+			fmt.Printf("%s:\n", n)
+		}
+		fmt.Printf("  %#08x  %08x  %s\n", addr, w, isa.Disasm(isa.Decode(w), addr))
+	}
+
+	if *regions && meta != nil {
+		comp, err := meta.Compressor()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\n=== compressed regions (%d, %d blob bytes, %d table bytes)\n",
+			len(meta.OffsetTable), len(meta.Blob), len(meta.Tables))
+		for id, off := range meta.OffsetTable {
+			fmt.Printf("\nregion %d at bit offset %d:\n", id, off)
+			pos := 1
+			_, err := comp.Decompress(meta.Blob, int(off), func(in isa.Inst) error {
+				fmt.Printf("  buf[%3d]  %s\n", pos, in)
+				if in.Op == isa.OpBSRX || in.Op == isa.OpJSRX {
+					pos += 2
+				} else {
+					pos++
+				}
+				return nil
+			})
+			if err != nil {
+				fmt.Printf("  decode error: %v\n", err)
+			}
+		}
+	}
+}
+
+// inReserved reports whether addr lies in a runtime-reserved area whose
+// contents are not meaningful instructions (decompressor body, stub area,
+// runtime buffer, compressed blob).
+func inReserved(m *core.Meta, addr uint32) bool {
+	if addr >= m.DecompAddr && addr < m.DecompAddr+core.DecompWords*4 {
+		return true
+	}
+	if m.StubCapacity > 0 && addr >= m.StubAreaAddr &&
+		addr < m.StubAreaAddr+uint32(m.StubCapacity*core.StubSlotWords*4) {
+		return true
+	}
+	if addr >= m.RtBufAddr {
+		return true // buffer and the compressed blob behind it
+	}
+	return false
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "em-dis:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command em-run executes an EM32 binary on the simulator. It accepts a
+// linked image (.exe) or a relocatable object (.o, linked on the fly with
+// entry "main"). Squashed images (carrying decompression metadata) get the
+// runtime decompressor installed automatically.
+//
+// Usage:
+//
+//	em-run prog.exe < input > output
+//	em-run -in input.bin -profile prog.prof prog.o
+//	em-run -stats prog.exe
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/objfile"
+	"repro/internal/profile"
+	"repro/internal/vm"
+)
+
+func main() {
+	inFile := flag.String("in", "", "input byte stream file (default: stdin)")
+	profOut := flag.String("profile", "", "write a basic-block execution profile to this file")
+	stats := flag.Bool("stats", false, "print execution statistics to stderr")
+	limit := flag.Uint64("limit", 0, "instruction limit (0 = default)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: em-run [-in file] [-profile out] [-stats] prog.{exe,o}")
+		os.Exit(2)
+	}
+
+	im, err := loadBinary(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+
+	var input []byte
+	if *inFile != "" {
+		if input, err = os.ReadFile(*inFile); err != nil {
+			fail(err)
+		}
+	} else if input, err = io.ReadAll(os.Stdin); err != nil {
+		fail(err)
+	}
+
+	m := vm.New(im, input)
+	m.MaxInstructions = *limit
+	if *profOut != "" {
+		m.EnableProfile()
+	}
+	var rt *core.Runtime
+	if len(im.Meta) > 0 {
+		meta, err := core.UnmarshalMeta(im.Meta)
+		if err != nil {
+			fail(fmt.Errorf("binary carries unreadable squash metadata: %w", err))
+		}
+		if rt, err = core.NewRuntime(meta); err != nil {
+			fail(err)
+		}
+		rt.Install(m)
+	}
+	if err := m.Run(); err != nil {
+		fail(err)
+	}
+	os.Stdout.Write(m.Output)
+
+	if *profOut != "" {
+		f, err := os.Create(*profOut)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := profile.Counts(m.Profile).WriteTo(f); err != nil {
+			fail(err)
+		}
+		f.Close()
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "exit status %d, %d instructions, %d cycles\n",
+			m.Status, m.Instructions, m.Cycles)
+		if rt != nil {
+			fmt.Fprintf(os.Stderr, "decompressions %d, bits read %d, restore stubs created %d (max live %d)\n",
+				rt.Stats.Decompressions, rt.Stats.BitsRead, rt.Stats.CreateStubMisses, rt.Stats.MaxLiveStubs)
+		}
+	}
+	os.Exit(int(m.Status))
+}
+
+func loadBinary(path string) (*objfile.Image, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if im, err := objfile.ReadImage(bytes.NewReader(data)); err == nil {
+		return im, nil
+	}
+	obj, err := objfile.ReadObject(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s is neither an image nor an object", path)
+	}
+	return objfile.Link("main", obj)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "em-run:", err)
+	os.Exit(1)
+}

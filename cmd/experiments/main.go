@@ -1,0 +1,56 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -exp all -scale 1.0 -o EXPERIMENTS-report.txt
+//	experiments -exp fig6
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (see -list)")
+	scale := flag.Float64("scale", 1.0, "input scale: 1.0 = full paper-sized runs, 0.05 = quick")
+	out := flag.String("o", "", "also write the report to this file")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "preparing suite (scale %.2f): generate, assemble, squeeze, profile...\n", *scale)
+	suite, err := experiments.Load(*scale)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "suite ready in %v\n", time.Since(start).Round(time.Millisecond))
+
+	report, err := experiments.Run(suite, *exp)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(report)
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s\n", *out)
+	}
+	fmt.Fprintf(os.Stderr, "total time %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

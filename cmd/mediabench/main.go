@@ -1,0 +1,57 @@
+// Command mediabench emits the synthetic benchmark suite: assembly source,
+// profiling input, and timing input per program, ready for the
+// em-as/squeeze/em-run/squash pipeline.
+//
+// Usage:
+//
+//	mediabench -dir bench/            # write all eleven benchmarks
+//	mediabench -dir bench/ -only gsm  # one benchmark
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/mediabench"
+)
+
+func main() {
+	dir := flag.String("dir", "mediabench-out", "output directory")
+	only := flag.String("only", "", "emit a single benchmark by name")
+	list := flag.Bool("list", false, "list benchmark names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range mediabench.Specs() {
+			fmt.Printf("%-10s input %6d insts, squeeze target %6d\n",
+				s.Name, s.TargetInput, s.TargetSqueeze)
+		}
+		return
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fail(err)
+	}
+	for _, s := range mediabench.Specs() {
+		if *only != "" && s.Name != *only {
+			continue
+		}
+		base := filepath.Join(*dir, s.Name)
+		if err := os.WriteFile(base+".s", []byte(s.Generate()), 0o644); err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(base+".prof.in", s.ProfilingInput(), 0o644); err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(base+".time.in", s.TimingInput(), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s.{s,prof.in,time.in}\n", base)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mediabench:", err)
+	os.Exit(1)
+}

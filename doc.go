@@ -1,0 +1,33 @@
+// Package repro is a from-scratch reproduction of "Profile-Guided Code
+// Compression" (Saumya Debray and William Evans, PLDI 2002).
+//
+// The paper's system, squash, reduces the memory footprint of embedded
+// executables by compressing infrequently executed code with a split-stream
+// canonical-Huffman coder and decompressing it on demand, at run time, into
+// a small fixed buffer. This module rebuilds the complete stack the paper
+// depends on:
+//
+//   - internal/isa, internal/asm, internal/objfile: an Alpha-flavoured
+//     32-bit RISC target (EM32) with an assembler, relocatable objects, and
+//     a linker that retains relocation information;
+//   - internal/vm: a cycle-counting simulator with basic-block profiling,
+//     standing in for the paper's Alpha 21264 test machine;
+//   - internal/cfg, internal/squeeze: a control-flow-graph IR and the
+//     baseline code compactor squash builds on;
+//   - internal/huffman, internal/streamcomp: canonical Huffman coding and
+//     the fifteen-stream splitting compressor of §3;
+//   - internal/profile, internal/regions, internal/buffersafe,
+//     internal/unswitch: cold-code identification (§5), compressible-region
+//     formation (§4), buffer-safety analysis (§6.1), and jump-table
+//     unswitching (§6.2);
+//   - internal/core: the squash rewriter and the runtime decompression
+//     machinery (entry stubs, CreateStub, reference-counted restore stubs)
+//     of §2;
+//   - internal/mediabench, internal/experiments: the synthetic benchmark
+//     suite and the drivers that regenerate every table and figure of §7.
+//
+// See README.md for the pipeline walk-through, DESIGN.md for the system
+// inventory and substitution notes, and EXPERIMENTS.md for measured-versus-
+// paper results. The benchmarks in bench_test.go regenerate each table and
+// figure: go test -bench=. -benchmem.
+package repro

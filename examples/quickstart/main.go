@@ -1,0 +1,134 @@
+// Quickstart: the complete squash pipeline on a small hand-written program.
+//
+// It assembles an EM32 program with a hot loop and a cold error handler,
+// profiles it, compresses the cold code with squash, and runs the squashed
+// binary to show that behaviour is preserved while the cold code now lives
+// in compressed form and is decompressed on demand.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/objfile"
+	"repro/internal/vm"
+)
+
+const program = `
+        ; Echo input bytes, uppercasing letters; a '!' triggers the cold
+        ; error path, which is never seen during profiling.
+        .text
+        .func main
+        lda  sp, -16(sp)
+        stw  ra, 0(sp)
+loop:   sys  getc
+        blt  v0, done
+        cmpeq v0, 33, t0        ; '!'
+        bne  t0, rare
+        mov  v0, a0
+        bsr  ra, upper
+        mov  v0, a0
+        sys  putc
+        br   loop
+rare:   bsr  ra, panic_handler
+        br   loop
+done:   ldw  ra, 0(sp)
+        lda  sp, 16(sp)
+        clr  a0
+        sys  halt
+
+        .func upper             ; hot: stays uncompressed
+        mov  a0, v0
+        cmpult v0, 97, t0       ; below 'a'?
+        bne  t0, upok
+        cmpult v0, 123, t0      ; above 'z'?
+        beq  t0, upok
+        sub  v0, 32, v0
+upok:   ret
+
+        .func panic_handler     ; cold: compressed, decompressed on demand
+        lda  sp, -16(sp)
+        stw  ra, 0(sp)
+        li   a0, 60             ; print "<error>"
+        sys  putc
+        li   a0, 101
+        sys  putc
+        li   a0, 114
+        sys  putc
+        li   a0, 114
+        sys  putc
+        li   a0, 111
+        sys  putc
+        li   a0, 114
+        sys  putc
+        li   a0, 62
+        sys  putc
+        bsr  ra, cold_detail
+        ldw  ra, 0(sp)
+        lda  sp, 16(sp)
+        ret
+
+        .func cold_detail       ; deeper cold code: a call out of the buffer
+        li   a0, 33
+        sys  putc
+        ret
+`
+
+func main() {
+	// 1. Assemble and link.
+	obj, err := asm.Assemble(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	im, err := objfile.Link("main", obj)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Profile on a training input that never hits the error path.
+	profiler := vm.New(im, []byte("hello world"))
+	profiler.EnableProfile()
+	if err := profiler.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Squash: cold code (θ = 0 means "never executed in the profile")
+	// is compressed; the error handler disappears from the code stream.
+	out, err := core.Squash(obj, profiler.Profile, core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("squash: %d -> %d bytes, %d region(s), %d entry stub(s)\n",
+		out.Stats.InputBytes, out.Stats.SquashedBytes,
+		out.Stats.RegionCount, out.Stats.EntryStubCount)
+
+	// 4. Run the squashed binary on an input that DOES hit the cold path.
+	input := []byte("squash me! again!")
+	rt, err := core.NewRuntime(out.Meta)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := vm.New(out.Image, input)
+	rt.Install(m)
+	if err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("squashed output: %q\n", m.Output)
+	fmt.Printf("decompressions: %d, restore stubs created: %d\n",
+		rt.Stats.Decompressions, rt.Stats.CreateStubMisses)
+
+	// 5. The original produces byte-identical output.
+	orig := vm.New(im, input)
+	if err := orig.Run(); err != nil {
+		log.Fatal(err)
+	}
+	if string(orig.Output) == string(m.Output) {
+		fmt.Println("outputs identical: behaviour preserved")
+	} else {
+		log.Fatalf("output mismatch: %q vs %q", orig.Output, m.Output)
+	}
+}

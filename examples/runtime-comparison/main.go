@@ -1,0 +1,112 @@
+// Runtime comparison: decompress-to-buffer versus interpret-in-place (§8).
+//
+// The paper classifies compressed-code execution into two families: forms
+// that must be decompressed before execution (squash's choice) and forms
+// that are executed or interpreted without decompression. This example runs
+// one benchmark both ways at several thresholds and prints the footprint
+// and cycle cost of each, showing the §8 trade-off concretely: the
+// interpretable form is bigger (it needs a branch-target index) and pays a
+// decode cost on every execution, while the decompressed form pays per
+// region entry and needs the runtime buffer.
+//
+//	go run ./examples/runtime-comparison [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/mediabench"
+	"repro/internal/objfile"
+	"repro/internal/squeeze"
+	"repro/internal/vm"
+)
+
+func main() {
+	name := "adpcm"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	spec, ok := mediabench.SpecByName(name)
+	if !ok {
+		log.Fatalf("unknown benchmark %q", name)
+	}
+	spec.ProfBytes /= 8
+	spec.TimeBytes /= 8
+
+	obj, err := asm.Assemble(spec.Generate())
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := cfg.Build(obj, "main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := squeeze.Run(p); err != nil {
+		log.Fatal(err)
+	}
+	sqObj, err := cfg.Lower(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	im, err := objfile.Link("main", sqObj)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof := vm.New(im, spec.ProfilingInput())
+	prof.EnableProfile()
+	if err := prof.Run(); err != nil {
+		log.Fatal(err)
+	}
+	timing := spec.TimingInput()
+	base := vm.New(im, timing)
+	if err := base.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s: %d instructions squeezed, %d baseline cycles\n\n",
+		spec.Name, len(sqObj.Text), base.Cycles)
+	fmt.Printf("%-8s  %-12s  %9s  %8s  %10s  %s\n",
+		"θ", "runtime", "size", "time ×", "events", "extra memory")
+	for _, theta := range []float64{0.0001, 0.01} {
+		for _, interpret := range []bool{false, true} {
+			conf := core.DefaultConfig()
+			conf.Theta = theta
+			conf.Interpret = interpret
+			conf.StubCapacity = 64
+			out, err := core.Squash(sqObj, prof.Profile, conf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rt, err := core.NewRuntime(out.Meta)
+			if err != nil {
+				log.Fatal(err)
+			}
+			m := vm.New(out.Image, timing)
+			rt.Install(m)
+			if err := m.Run(); err != nil {
+				log.Fatal(err)
+			}
+			if string(m.Output) != string(base.Output) {
+				log.Fatal("output diverged")
+			}
+			mode, events, extra := "decompress", fmt.Sprintf("%d decomp", rt.Stats.Decompressions),
+				fmt.Sprintf("buffer %dB", out.Foot.RuntimeBuffer)
+			if interpret {
+				mode = "interpret"
+				events = fmt.Sprintf("%d interp", rt.Stats.InterpInsts)
+				extra = fmt.Sprintf("index %dB", out.Foot.InterpIndex)
+			}
+			fmt.Printf("%-8g  %-12s  %9d  %8.3f  %10s  %s\n",
+				theta, mode, out.Stats.SquashedBytes,
+				float64(m.Cycles)/float64(base.Cycles), events, extra)
+		}
+	}
+	fmt.Println("\nBoth runtimes produce byte-identical output to the baseline.")
+	fmt.Println("The paper chose decompression: the compressed-and-decompressed form is")
+	fmt.Println("smaller overall, and hot-ish cold code amortizes the one-time cost.")
+}

@@ -1,0 +1,71 @@
+package cfg
+
+// BackEdge is an intra-procedural control-flow edge whose target is an
+// ancestor of its source in the depth-first spanning tree — the signature
+// of a loop. The paper warns (§7) that the region partitioner "may split a
+// loop into multiple regions", causing a decompression per iteration if the
+// timing input drives the loop; squash uses these edges to diagnose that
+// situation.
+type BackEdge struct {
+	From, To string // block labels; To is the loop header
+}
+
+// BackEdges finds the back edges of every function by iterative depth-first
+// search over the intra-procedural successor graph. Unknown indirect jumps
+// contribute no edges (their blocks are excluded from compression anyway).
+func (p *Program) BackEdges() []BackEdge {
+	var out []BackEdge
+	for _, f := range p.Funcs {
+		inFunc := map[string]*Block{}
+		for _, b := range f.Blocks {
+			inFunc[b.Label] = b
+		}
+		const (
+			white = 0 // unvisited
+			gray  = 1 // on the DFS stack
+			black = 2 // done
+		)
+		color := map[string]int{}
+		type frame struct {
+			label string
+			succs []string
+			next  int
+		}
+		var stack []frame
+		pushBlock := func(label string) {
+			b := inFunc[label]
+			succs, _ := b.Succs()
+			var intra []string
+			for _, s := range succs {
+				if inFunc[s] != nil {
+					intra = append(intra, s)
+				}
+			}
+			color[label] = gray
+			stack = append(stack, frame{label: label, succs: intra})
+		}
+		for _, root := range f.Blocks {
+			if color[root.Label] != white {
+				continue
+			}
+			pushBlock(root.Label)
+			for len(stack) > 0 {
+				fr := &stack[len(stack)-1]
+				if fr.next < len(fr.succs) {
+					s := fr.succs[fr.next]
+					fr.next++
+					switch color[s] {
+					case white:
+						pushBlock(s)
+					case gray:
+						out = append(out, BackEdge{From: fr.label, To: s})
+					}
+					continue
+				}
+				color[fr.label] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package cfg
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+)
+
+func TestBackEdgesSimpleLoop(t *testing.T) {
+	obj, err := asm.Assemble(`
+        .text
+        .func main
+        li   t0, 10
+loop:   sub  t0, 1, t0
+        bgt  t0, loop
+        clr  a0
+        sys  halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(obj, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := p.BackEdges()
+	if len(edges) != 1 || edges[0].To != "loop" {
+		t.Fatalf("edges = %+v", edges)
+	}
+}
+
+func TestBackEdgesNestedAndMultiple(t *testing.T) {
+	obj, err := asm.Assemble(`
+        .text
+        .func main
+        li   t0, 3
+outer:  li   t1, 4
+inner:  sub  t1, 1, t1
+        bgt  t1, inner
+        sub  t0, 1, t0
+        bgt  t0, outer
+second: sys  getc
+        bge  v0, second
+        clr  a0
+        sys  halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(obj, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := p.BackEdges()
+	heads := map[string]bool{}
+	for _, e := range edges {
+		heads[e.To] = true
+	}
+	if len(edges) != 3 || !heads["outer"] || !heads["inner"] || !heads["second"] {
+		t.Fatalf("edges = %+v", edges)
+	}
+}
+
+func TestBackEdgesAcyclic(t *testing.T) {
+	obj, err := asm.Assemble(`
+        .text
+        .func main
+        beq  v0, a
+        nop
+a:      beq  v0, b
+        nop
+b:      clr  a0
+        sys  halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(obj, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if edges := p.BackEdges(); len(edges) != 0 {
+		t.Fatalf("acyclic CFG has back edges: %+v", edges)
+	}
+}

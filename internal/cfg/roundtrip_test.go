@@ -1,0 +1,78 @@
+package cfg
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/mediabench"
+)
+
+// TestLowerBuildIdempotent checks that Lower∘Build is idempotent on a large
+// generated program: lifting an object and lowering it again must converge
+// after one round (the first round may canonicalize label names and insert
+// explicit fallthrough branches; the second must be byte-identical).
+func TestLowerBuildIdempotent(t *testing.T) {
+	spec, ok := mediabench.SpecByName("g721_enc")
+	if !ok {
+		t.Fatal("spec missing")
+	}
+	obj, err := asm.Assemble(spec.Generate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := Build(obj, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, err := Lower(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Build(o1, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := Lower(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(o1.Text, o2.Text) {
+		t.Fatal("text not idempotent under Build∘Lower")
+	}
+	if !reflect.DeepEqual(o1.Data, o2.Data) {
+		t.Fatal("data not idempotent")
+	}
+	if len(o1.Symbols) != len(o2.Symbols) || len(o1.Relocs) != len(o2.Relocs) {
+		t.Fatalf("tables changed: %d/%d symbols, %d/%d relocs",
+			len(o1.Symbols), len(o2.Symbols), len(o1.Relocs), len(o2.Relocs))
+	}
+}
+
+// TestBuildPreservesInstructionCountModuloFallthrough: lowering inserts at
+// most one branch per block, never removes instructions.
+func TestBuildPreservesInstructionCount(t *testing.T) {
+	spec, _ := mediabench.SpecByName("adpcm")
+	obj, err := asm.Assemble(spec.Generate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(obj, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumInsts() != len(obj.Text) {
+		t.Fatalf("Build dropped instructions: %d vs %d", p.NumInsts(), len(obj.Text))
+	}
+	o, err := Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := 0
+	for _, f := range p.Funcs {
+		blocks += len(f.Blocks)
+	}
+	if len(o.Text) < len(obj.Text) || len(o.Text) > len(obj.Text)+blocks {
+		t.Fatalf("lowered size %d outside [%d, %d]", len(o.Text), len(obj.Text), len(obj.Text)+blocks)
+	}
+}

@@ -1,0 +1,632 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/huffman"
+	"repro/internal/isa"
+	"repro/internal/objfile"
+	"repro/internal/regions"
+	"repro/internal/streamcomp"
+)
+
+// Reserved symbol names introduced by the rewriter.
+const (
+	symDecomp   = "__decomp"
+	symStubArea = "__stubarea"
+	symRtBuf    = "__rtbuf"
+)
+
+// stubLabel names the entry stub for a compressed block.
+func stubLabel(block string) string { return "stub$" + block }
+
+// encoder carries the state of the layout/encode phase of Squash.
+type encoder struct {
+	conf       Config
+	prog       *cfg.Program
+	res        *regions.Result
+	preds      *regions.Preds
+	compressed map[string]bool
+	safeCallee func(string) bool
+
+	layouts []*regionLayout // indexed by region ID
+	rs      []rsStub        // compile-time restore stubs (ablation mode)
+}
+
+// regionLayout fixes where every region instruction lands in the runtime
+// buffer (word offsets; offset 0 is the dispatch jump the decompressor
+// writes).
+type regionLayout struct {
+	blockOff map[string]int
+	instOff  [][]int  // [block index][inst index] -> buffer word offset
+	inserted [][2]int // (block index, buffer offset) of knit branches
+	insTgt   []string // target label per inserted branch
+	words    int
+	order    []string // block labels in layout order (consistency check)
+	// boundaries counts the offsets the interpret-in-place runtime can be
+	// entered at (block starts and post-call resume points); its index
+	// charges four bytes per boundary.
+	boundaries int
+}
+
+type rsStub struct {
+	label  string
+	region int
+	resume int      // buffer word offset to return to
+	call   cfg.Inst // the original call instruction
+	isJSR  bool
+}
+
+type callInfo struct {
+	site cfg.CallSite
+	// expand: the call needs the CreateStub treatment at runtime. Every
+	// call out of the runtime buffer expands unless the callee is proven
+	// buffer-safe (§6.1): even a callee in the same region may branch to
+	// another region mid-body (split functions), which overwrites the
+	// buffer, so a raw buffer return address is never sound.
+	expand bool
+	// intra: the callee's entry lies in the same region, so the expanded
+	// call's transfer branch targets a buffer offset rather than an entry
+	// stub (no re-decompression on entry).
+	intra bool
+}
+
+// classifyCalls maps instruction index to call treatment for one block.
+func (e *encoder) classifyCalls(r *regions.Region, b *cfg.Block) map[int]callInfo {
+	out := map[int]callInfo{}
+	for _, c := range b.Calls() {
+		info := callInfo{site: c}
+		callee := c.Callee
+		switch {
+		case callee == "":
+			// Excluded from regions by partitioning; cannot happen.
+			panic(fmt.Sprintf("core: unresolved indirect call in region block %s", b.Label))
+		case e.safeCallee(callee):
+			// Left unchanged (§6.1). Safe callees are never compressed.
+		default:
+			info.expand = true
+			if id, in := e.res.InRegion[callee]; in && id == r.ID && !c.Indirect {
+				info.intra = true
+			}
+		}
+		out[c.InstIdx] = info
+	}
+	return out
+}
+
+// layoutRegion computes buffer offsets for region r.
+func (e *encoder) layoutRegion(r *regions.Region) *regionLayout {
+	lay := &regionLayout{blockOff: map[string]int{}, instOff: make([][]int, len(r.Blocks))}
+	pos := 1
+	for bi, b := range r.Blocks {
+		lay.order = append(lay.order, b.Label)
+		lay.blockOff[b.Label] = pos
+		lay.boundaries++
+		calls := e.classifyCalls(r, b)
+		lay.instOff[bi] = make([]int, len(b.Insts))
+		for j := range b.Insts {
+			lay.instOff[bi][j] = pos
+			if info, ok := calls[j]; ok && info.expand && !e.conf.CompileTimeRestoreStubs {
+				pos += 2
+				lay.boundaries++ // resume point after the call
+			} else {
+				pos++
+			}
+		}
+		next := ""
+		if bi+1 < len(r.Blocks) {
+			next = r.Blocks[bi+1].Label
+		}
+		if b.FallsTo != "" && b.FallsTo != next {
+			lay.inserted = append(lay.inserted, [2]int{bi, pos})
+			lay.insTgt = append(lay.insTgt, b.FallsTo)
+			pos++
+		}
+	}
+	lay.words = pos
+	return lay
+}
+
+// retarget maps a label to its post-rewrite equivalent: compressed blocks
+// are reachable only through their entry stubs.
+func (e *encoder) retarget(label string) string {
+	if e.compressed[label] {
+		return stubLabel(label)
+	}
+	return label
+}
+
+// run executes the layout, transform, encode, and accounting phases.
+func (e *encoder) run(stats *Stats) (*Output, error) {
+	// Phase 1: region layouts (address-independent).
+	e.layouts = make([]*regionLayout, len(e.res.Regions))
+	for _, r := range e.res.Regions {
+		lay := e.layoutRegion(r)
+		if lay.words > e.conf.Regions.K/isa.WordSize {
+			return nil, fmt.Errorf("region %d lays out to %d words, buffer holds %d",
+				r.ID, lay.words, e.conf.Regions.K/isa.WordSize)
+		}
+		e.layouts[r.ID] = lay
+	}
+
+	// Phase 2: build and link the output program.
+	out, entryStubWords, rsWords, stubAreaWords, err := e.buildOutput()
+	if err != nil {
+		return nil, err
+	}
+	obj2, err := cfg.Lower(out)
+	if err != nil {
+		return nil, err
+	}
+	im, err := objfile.Link(out.Entry, obj2)
+	if err != nil {
+		return nil, err
+	}
+	addrOf := map[string]uint32{}
+	for _, s := range im.Symbols {
+		addrOf[s.Name] = s.Addr()
+	}
+
+	// Phase 3: build final instruction sequences per region and compress.
+	seqs := make([][]isa.Inst, len(e.res.Regions))
+	for _, r := range e.res.Regions {
+		seq, err := e.buildSeq(r, addrOf)
+		if err != nil {
+			return nil, err
+		}
+		seqs[r.ID] = seq
+	}
+	comp := streamcomp.Train(seqs, streamcomp.Options{MTF: e.conf.MTF})
+	var w huffman.BitWriter
+	offsets := make([]uint32, len(seqs))
+	for id, seq := range seqs {
+		offsets[id] = uint32(w.Len())
+		if err := comp.Compress(&w, seq); err != nil {
+			return nil, fmt.Errorf("region %d: %w", id, err)
+		}
+	}
+	blob := w.Bytes()
+	tables, err := comp.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 4: materialize the blob in text and the offset table + code
+	// tables in data; build metadata and the footprint.
+	preBlobWords := len(im.Text)
+	for i := 0; i < len(blob); i += 4 {
+		var wrd uint32
+		for k := 0; k < 4 && i+k < len(blob); k++ {
+			wrd |= uint32(blob[i+k]) << (8 * k)
+		}
+		im.Text = append(im.Text, wrd)
+	}
+	offtabBytes := 4 * len(offsets)
+	for _, off := range offsets {
+		im.Data = append(im.Data, byte(off), byte(off>>8), byte(off>>16), byte(off>>24))
+	}
+	im.Data = append(im.Data, tables...)
+
+	meta := &Meta{
+		DecompAddr:   addrOf[symDecomp],
+		StubAreaAddr: addrOf[symStubArea],
+		StubCapacity: e.conf.StubCapacity,
+		RtBufAddr:    addrOf[symRtBuf],
+		K:            e.conf.Regions.K,
+		Interpret:    e.conf.Interpret,
+		OffsetTable:  offsets,
+		Blob:         blob,
+		Tables:       tables,
+	}
+	if e.conf.CompileTimeRestoreStubs {
+		meta.StubCapacity = 0
+	}
+	im.Meta, err = meta.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+
+	rtbufWords := e.conf.Regions.K / isa.WordSize
+	blobWords := len(im.Text) - preBlobWords
+	foot := Footprint{
+		NeverCompressed:    (preBlobWords - entryStubWords - rsWords - DecompWords - stubAreaWords - rtbufWords) * isa.WordSize,
+		EntryStubs:         entryStubWords * isa.WordSize,
+		RestoreStubsStatic: rsWords * isa.WordSize,
+		Decompressor:       DecompWords * isa.WordSize,
+		OffsetTable:        offtabBytes,
+		CompressedCode:     blobWords * isa.WordSize,
+		CodeTables:         len(tables),
+		StubArea:           stubAreaWords * isa.WordSize,
+		RuntimeBuffer:      e.conf.Regions.K,
+	}
+	layoutBytes := len(im.Text)*isa.WordSize + offtabBytes + len(tables)
+	if e.conf.Interpret {
+		// Interpret-in-place (§8 alternative): no runtime buffer memory is
+		// ever written — its address range is reserved but needs no backing
+		// store — but the interpreter needs an index entry (four bytes:
+		// buffer offset plus blob bit position) for every offset it can be
+		// entered at: block starts and post-call resume points.
+		foot.RuntimeBuffer = 0
+		boundaries := 0
+		for _, lay := range e.layouts {
+			boundaries += lay.boundaries
+		}
+		foot.InterpIndex = 4 * boundaries
+		layoutBytes += foot.InterpIndex - e.conf.Regions.K
+	}
+	if got := foot.Total(); got != layoutBytes {
+		return nil, fmt.Errorf("footprint accounting mismatch: components sum to %d, layout is %d", got, layoutBytes)
+	}
+
+	stats.SquashedBytes = foot.Total()
+	stats.EntryStubCount = entryStubWords / regions.EntryStubWords
+	stats.StaticRestoreStubCount = len(e.rs)
+	if n := e.res.CompressibleInsts; n > 0 {
+		stats.CompressionRatio = float64(len(blob)+len(tables)) / float64(n*isa.WordSize)
+	}
+
+	layouts := make([]map[string]int, len(e.layouts))
+	for i, lay := range e.layouts {
+		layouts[i] = lay.blockOff
+	}
+	return &Output{Image: im, Meta: meta, Foot: foot, Stats: *stats, RegionLayouts: layouts}, nil
+}
+
+// buildOutput assembles the rewritten program: surviving code with
+// references retargeted to stubs, the stubs themselves, and the reserved
+// decompressor/stub-area/buffer regions. It reports the word sizes of the
+// stub groups for accounting.
+func (e *encoder) buildOutput() (out *cfg.Program, entryStubWords, rsWords, stubAreaWords int, err error) {
+	out = &cfg.Program{
+		Data:        append([]byte(nil), e.prog.Data...),
+		DataSymbols: append([]objfile.Symbol(nil), e.prog.DataSymbols...),
+		Entry:       e.retarget(e.prog.Entry),
+	}
+	for _, r := range e.prog.DataRelocs {
+		r.Sym = e.retarget(r.Sym)
+		out.DataRelocs = append(out.DataRelocs, r)
+	}
+
+	// Surviving functions.
+	for _, f := range e.prog.Funcs {
+		var kept []*cfg.Block
+		for _, b := range f.Blocks {
+			if e.compressed[b.Label] {
+				continue
+			}
+			nb := &cfg.Block{
+				Label:      b.Label,
+				Insts:      append([]cfg.Inst(nil), b.Insts...),
+				FallsTo:    b.FallsTo,
+				JT:         b.JT,
+				SrcWordOff: b.SrcWordOff,
+				Freq:       b.Freq,
+				Weight:     b.Weight,
+			}
+			for i := range nb.Insts {
+				if nb.Insts[i].Kind != cfg.TargetNone {
+					nb.Insts[i].Target = e.retarget(nb.Insts[i].Target)
+				}
+			}
+			if nb.FallsTo != "" {
+				nb.FallsTo = e.retarget(nb.FallsTo)
+			}
+			kept = append(kept, nb)
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		name := f.Name
+		if kept[0].Label != name {
+			name = kept[0].Label
+		}
+		out.Funcs = append(out.Funcs, &cfg.Func{Name: name, Blocks: kept})
+	}
+
+	// Entry stubs: two words each — a call to the decompressor through the
+	// AT entry point, then the tag word <region index, buffer offset>.
+	// In compile-time-restore-stub mode, static stubs call compressed
+	// callees by symbol, so every such callee needs an entry stub even if
+	// all its callers share its region.
+	extraEntries := map[int]map[string]bool{}
+	if e.conf.CompileTimeRestoreStubs {
+		for _, r := range e.res.Regions {
+			for _, b := range r.Blocks {
+				for _, info := range e.classifyCalls(r, b) {
+					callee := info.site.Callee
+					if info.expand && !info.site.Indirect && e.compressed[callee] {
+						id := e.res.InRegion[callee]
+						if extraEntries[id] == nil {
+							extraEntries[id] = map[string]bool{}
+						}
+						extraEntries[id][callee] = true
+					}
+				}
+			}
+		}
+	}
+	for _, r := range e.res.Regions {
+		entries := e.res.Entries(e.preds, r)
+		for extra := range extraEntries[r.ID] {
+			found := false
+			for _, en := range entries {
+				if en == extra {
+					found = true
+				}
+			}
+			if !found {
+				entries = append(entries, extra)
+			}
+		}
+		sort.Strings(entries)
+		lay := e.layouts[r.ID]
+		for _, entry := range entries {
+			off := lay.blockOff[entry]
+			if off >= 1<<16 || r.ID >= 1<<16 {
+				return nil, 0, 0, 0, fmt.Errorf("tag overflow: region %d offset %d", r.ID, off)
+			}
+			tag := uint32(r.ID)<<16 | uint32(off)
+			sb := &cfg.Block{
+				Label: stubLabel(entry),
+				Insts: []cfg.Inst{
+					{Inst: isa.Br(isa.OpBSR, isa.RegAT, 0), Kind: cfg.TargetBranch,
+						Target: symDecomp, Addend: int32(isa.RegAT * isa.WordSize)},
+					cfg.RawWord(tag),
+				},
+			}
+			out.Funcs = append(out.Funcs, &cfg.Func{Name: sb.Label, Blocks: []*cfg.Block{sb}})
+			entryStubWords += regions.EntryStubWords
+		}
+	}
+
+	// Compile-time restore stubs (ablation): one static stub per expanded
+	// call site, each three words: the call, the decompressor invocation,
+	// and the tag.
+	if e.conf.CompileTimeRestoreStubs {
+		for _, r := range e.res.Regions {
+			lay := e.layouts[r.ID]
+			for bi, b := range r.Blocks {
+				calls := e.classifyCalls(r, b)
+				idxs := make([]int, 0, len(calls))
+				for j := range calls {
+					idxs = append(idxs, j)
+				}
+				sort.Ints(idxs)
+				for _, j := range idxs {
+					info := calls[j]
+					if !info.expand {
+						continue
+					}
+					in := b.Insts[j]
+					stub := rsStub{
+						label:  fmt.Sprintf("rs$%d", len(e.rs)),
+						region: r.ID,
+						resume: lay.instOff[bi][j] + 1,
+						call:   in,
+						isJSR:  info.site.Indirect,
+					}
+					e.rs = append(e.rs, stub)
+					tag := uint32(r.ID)<<16 | uint32(stub.resume)
+					ra := in.RA
+					var callInst cfg.Inst
+					if stub.isJSR {
+						callInst = cfg.Inst{Inst: in.Inst}
+					} else {
+						callInst = cfg.Inst{Inst: isa.Br(isa.OpBSR, ra, 0), Kind: cfg.TargetBranch,
+							Target: e.retarget(in.Target)}
+					}
+					sb := &cfg.Block{
+						Label: stub.label,
+						Insts: []cfg.Inst{
+							callInst,
+							{Inst: isa.Br(isa.OpBSR, ra, 0), Kind: cfg.TargetBranch,
+								Target: symDecomp, Addend: int32(ra * isa.WordSize)},
+							cfg.RawWord(tag),
+						},
+					}
+					out.Funcs = append(out.Funcs, &cfg.Func{Name: sb.Label, Blocks: []*cfg.Block{sb}})
+					rsWords += 3
+				}
+			}
+		}
+		sortRS(e.rs)
+	}
+
+	// Reserved regions, filled with trapping sentinels: the decompressor
+	// (entered only through the interception hook), the restore-stub area
+	// (rewritten at run time), and the runtime buffer.
+	reserved := func(name string, words int) {
+		insts := make([]cfg.Inst, words)
+		for i := range insts {
+			insts[i] = cfg.RawWord(isa.Sentinel)
+		}
+		blk := &cfg.Block{Label: name, Insts: insts}
+		out.Funcs = append(out.Funcs, &cfg.Func{Name: name, Blocks: []*cfg.Block{blk}})
+	}
+	stubAreaWords = e.conf.StubCapacity * StubSlotWords
+	if e.conf.CompileTimeRestoreStubs {
+		stubAreaWords = 0
+	}
+	reserved(symDecomp, DecompWords)
+	if stubAreaWords > 0 {
+		reserved(symStubArea, stubAreaWords)
+	} else {
+		reserved(symStubArea, 0)
+	}
+	reserved(symRtBuf, e.conf.Regions.K/isa.WordSize)
+	return out, entryStubWords, rsWords, stubAreaWords, nil
+}
+
+func sortRS(rs []rsStub) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].label < rs[j].label })
+}
+
+// buildSeq produces the final instruction sequence for region r: all
+// displacement fields resolved against the fixed buffer layout and the
+// linked image's symbol addresses, calls rewritten per their
+// classification (intra-region, buffer-safe, expanded, or routed through a
+// compile-time restore stub).
+func (e *encoder) buildSeq(r *regions.Region, addrOf map[string]uint32) ([]isa.Inst, error) {
+	lay := e.layouts[r.ID]
+	bufWordBase := int(addrOf[symRtBuf]) / isa.WordSize
+	wordAddr := func(label string) (int, error) {
+		a, ok := addrOf[label]
+		if !ok {
+			return 0, fmt.Errorf("region %d references unknown symbol %q", r.ID, label)
+		}
+		return int(a) / isa.WordSize, nil
+	}
+	// extDisp: displacement from buffer position pos (skip words into the
+	// instruction group) to an absolute text word.
+	extDisp := func(targetWord, pos, skip int) int32 {
+		return int32(targetWord - (bufWordBase + pos + skip))
+	}
+	// rsIndex finds the compile-time stub for a call site.
+	rsIndex := func(region, resume int) (string, error) {
+		for _, s := range e.rs {
+			if s.region == region && s.resume == resume {
+				return s.label, nil
+			}
+		}
+		return "", fmt.Errorf("no compile-time restore stub for region %d resume %d", region, resume)
+	}
+
+	var seq []isa.Inst
+	var insIdx int
+	for bi, b := range r.Blocks {
+		if lay.order[bi] != b.Label {
+			return nil, fmt.Errorf("region %d block order changed since layout: index %d is %s, was %s",
+				r.ID, bi, b.Label, lay.order[bi])
+		}
+		calls := e.classifyCalls(r, b)
+		for j, in := range b.Insts {
+			pos := lay.instOff[bi][j]
+			if in.Raw {
+				return nil, fmt.Errorf("raw word inside region block %s", b.Label)
+			}
+			info, isCall := calls[j]
+			// The layout and this pass must agree on which calls expand:
+			// a disagreement would shift every later buffer offset.
+			width := 1
+			if isCall && info.expand && !e.conf.CompileTimeRestoreStubs {
+				width = 2
+			}
+			layWidth := 0
+			if j+1 < len(b.Insts) {
+				layWidth = lay.instOff[bi][j+1] - pos
+			}
+			if layWidth != 0 && layWidth != width {
+				return nil, fmt.Errorf("region %d block %s inst %d: layout width %d, encode width %d (callee %q expand=%v intra=%v)",
+					r.ID, b.Label, j, layWidth, width, info.site.Callee, info.expand, info.intra)
+			}
+			switch {
+			case isCall && !info.site.Indirect: // direct bsr
+				callee := in.Target
+				switch {
+				case info.expand && info.intra && !e.conf.CompileTimeRestoreStubs:
+					// Expanded call whose transfer branches within the
+					// buffer: bsr CreateStub; br <buffer offset>.
+					seq = append(seq, isa.Br(isa.OpBSRX, in.RA, int32(lay.blockOff[callee]-(pos+2))))
+				case info.expand && e.conf.CompileTimeRestoreStubs:
+					lbl, err := rsIndex(r.ID, pos+1)
+					if err != nil {
+						return nil, err
+					}
+					tw, err := wordAddr(lbl)
+					if err != nil {
+						return nil, err
+					}
+					seq = append(seq, isa.Br(isa.OpBR, isa.RegZero, extDisp(tw, pos, 1)))
+				case info.expand:
+					tw, err := wordAddr(e.retarget(callee))
+					if err != nil {
+						return nil, err
+					}
+					seq = append(seq, isa.Br(isa.OpBSRX, in.RA, extDisp(tw, pos, 2)))
+				default: // buffer-safe
+					tw, err := wordAddr(e.retarget(callee))
+					if err != nil {
+						return nil, err
+					}
+					seq = append(seq, isa.Br(isa.OpBSR, in.RA, extDisp(tw, pos, 1)))
+				}
+			case isCall && info.site.Indirect: // jsr
+				switch {
+				case info.expand && e.conf.CompileTimeRestoreStubs:
+					lbl, err := rsIndex(r.ID, pos+1)
+					if err != nil {
+						return nil, err
+					}
+					tw, err := wordAddr(lbl)
+					if err != nil {
+						return nil, err
+					}
+					seq = append(seq, isa.Br(isa.OpBR, isa.RegZero, extDisp(tw, pos, 1)))
+				case info.expand:
+					seq = append(seq, isa.Inst{Op: isa.OpJSRX, Format: isa.FormatJump,
+						RA: in.RA, RB: in.RB, JFunc: isa.JmpJSR})
+				default: // intra-region or buffer-safe: register-based, unchanged
+					seq = append(seq, in.Inst)
+				}
+			case in.Kind == cfg.TargetBranch:
+				t := in.Target
+				if off, intra := lay.blockOff[t]; intra {
+					seq = append(seq, isa.Br(in.Op, in.RA, int32(off-(pos+1))))
+				} else {
+					tw, err := wordAddr(e.retarget(t))
+					if err != nil {
+						return nil, err
+					}
+					seq = append(seq, isa.Br(in.Op, in.RA, extDisp(tw, pos, 1)))
+				}
+			case in.Kind == cfg.TargetHi16 || in.Kind == cfg.TargetLo16:
+				a, err := e.laAddr(r, lay, addrOf, in.Target)
+				if err != nil {
+					return nil, err
+				}
+				a += int64(in.Addend)
+				lo := int64(int16(a & 0xFFFF))
+				hi := int32(int16((a - lo) >> 16))
+				if in.Kind == cfg.TargetHi16 {
+					seq = append(seq, isa.Mem(in.Op, in.RA, in.RB, hi))
+				} else {
+					seq = append(seq, isa.Mem(in.Op, in.RA, in.RB, int32(lo)))
+				}
+			default:
+				seq = append(seq, in.Inst)
+			}
+		}
+		// Knit branch inserted after this block by the layout.
+		if insIdx < len(lay.inserted) && lay.inserted[insIdx][0] == bi {
+			pos := lay.inserted[insIdx][1]
+			t := lay.insTgt[insIdx]
+			if off, intra := lay.blockOff[t]; intra {
+				seq = append(seq, isa.Br(isa.OpBR, isa.RegZero, int32(off-(pos+1))))
+			} else {
+				tw, err := wordAddr(e.retarget(t))
+				if err != nil {
+					return nil, err
+				}
+				seq = append(seq, isa.Br(isa.OpBR, isa.RegZero, extDisp(tw, pos, 1)))
+			}
+			insIdx++
+		}
+	}
+	return seq, nil
+}
+
+// laAddr resolves the address an la pair inside region r must materialize:
+// data symbols resolve normally; compressed labels resolve to their entry
+// stub; surviving code labels resolve directly.
+func (e *encoder) laAddr(r *regions.Region, lay *regionLayout, addrOf map[string]uint32, target string) (int64, error) {
+	// Taken addresses of compressed labels always resolve to the entry
+	// stub, never to a buffer address: the pointer may be used after the
+	// buffer has been overwritten by another region.
+	a, ok := addrOf[e.retarget(target)]
+	if !ok {
+		return 0, fmt.Errorf("la of unknown symbol %q in region %d", target, r.ID)
+	}
+	return int64(a), nil
+}

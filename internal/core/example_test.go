@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/objfile"
+	"repro/internal/vm"
+)
+
+// The complete library flow: assemble, profile, squash, run the squashed
+// binary with the decompression runtime, and confirm identical behaviour.
+func Example() {
+	const program = `
+        .text
+        .func main
+loop:   sys  getc
+        blt  v0, done
+        cmpeq v0, 33, t0
+        beq  t0, echo
+        bsr  ra, rare       ; '!' takes the cold path
+        br   loop
+echo:   mov  v0, a0
+        sys  putc
+        br   loop
+done:   clr  a0
+        sys  halt
+        .func rare          ; never profiled -> compressed at θ=0
+        li   a0, 42
+        sys  putc
+        li   a0, 42
+        sys  putc
+        li   a0, 42
+        sys  putc
+        li   a0, 42
+        sys  putc
+        ret
+`
+	obj, err := asm.Assemble(program)
+	if err != nil {
+		panic(err)
+	}
+	im, err := objfile.Link("main", obj)
+	if err != nil {
+		panic(err)
+	}
+	profiler := vm.New(im, []byte("train")) // no '!': rare stays cold
+	profiler.EnableProfile()
+	if err := profiler.Run(); err != nil {
+		panic(err)
+	}
+	out, err := core.Squash(obj, profiler.Profile, core.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	rt, err := core.NewRuntime(out.Meta)
+	if err != nil {
+		panic(err)
+	}
+	m := vm.New(out.Image, []byte("hi!"))
+	rt.Install(m)
+	if err := m.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s\n", m.Output)
+	fmt.Println("regions:", out.Stats.RegionCount, "decompressions:", rt.Stats.Decompressions)
+	// Output:
+	// hi****
+	// regions: 1 decompressions: 1
+}

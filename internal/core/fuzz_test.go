@@ -1,0 +1,86 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/objfile"
+	"repro/internal/regions"
+	"repro/internal/testprog"
+	"repro/internal/vm"
+)
+
+func TestDifferentialFuzzSquash(t *testing.T) {
+	inputs := [][]byte{
+		[]byte(""), []byte("a"), []byte("squash me 123"), make([]byte, 200),
+	}
+	for i := range inputs[3] {
+		inputs[3][i] = byte(37 * i)
+	}
+	n := 60
+	if testing.Short() {
+		n = 10
+	}
+	for seed := int64(0); seed < int64(n); seed++ {
+		src := testprog.Random(seed)
+		obj, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("seed %d: assemble: %v\n%s", seed, err, src)
+		}
+		im, err := objfile.Link("main", obj)
+		if err != nil {
+			t.Fatalf("seed %d: link: %v", seed, err)
+		}
+		r := rand.New(rand.NewSource(seed * 31))
+		profIn := inputs[r.Intn(len(inputs))]
+		prof := vm.New(im, profIn)
+		prof.EnableProfile()
+		if err := prof.Run(); err != nil {
+			t.Fatalf("seed %d: profile run: %v", seed, err)
+		}
+
+		conf := DefaultConfig()
+		conf.Theta = []float64{0, 0.001, 0.5, 1}[r.Intn(4)]
+		conf.Regions.K = []int{64, 96, 128, 512}[r.Intn(4)]
+		conf.Regions.Pack = r.Intn(2) == 0
+		conf.BufferSafe = r.Intn(2) == 0
+		conf.MTF = r.Intn(4) == 0
+		conf.CompileTimeRestoreStubs = r.Intn(4) == 0
+		conf.Interpret = r.Intn(3) == 0
+		if r.Intn(3) == 0 {
+			conf.Regions.Strategy = regions.StrategyLoopAware
+		}
+		out, err := Squash(obj, prof.Profile, conf)
+		if err != nil {
+			t.Fatalf("seed %d: squash (%+v): %v", seed, conf, err)
+		}
+		rt, err := NewRuntime(out.Meta)
+		if err != nil {
+			t.Fatalf("seed %d: runtime: %v", seed, err)
+		}
+		for _, input := range inputs {
+			base := vm.New(im, input)
+			base.StackCheck = true
+			if err := base.Run(); err != nil {
+				t.Fatalf("seed %d: baseline: %v", seed, err)
+			}
+			sq := vm.New(out.Image, input)
+			sq.StackCheck = true
+			rt2, _ := NewRuntime(out.Meta)
+			rt2.Install(sq)
+			if err := sq.Run(); err != nil {
+				t.Fatalf("seed %d conf %+v input %d: squashed run: %v", seed, conf, len(input), err)
+			}
+			if string(base.Output) != string(sq.Output) || base.Status != sq.Status {
+				t.Fatalf("seed %d conf %+v: behaviour diverged", seed, conf)
+			}
+			for k := range base.SPTrace {
+				if base.SPTrace[k] != sq.SPTrace[k] {
+					t.Fatalf("seed %d: SP trace diverged at %d", seed, k)
+				}
+			}
+		}
+		_ = rt
+	}
+}

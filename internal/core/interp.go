@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Interpret-in-place runtime (§8 alternative). The paper classifies
+// compressed-program execution into two families: decompress-then-execute
+// (squash's choice, smaller compressed form, needs the runtime buffer) and
+// execute/interpret-without-decompression (Fraser & Proebsting [13],
+// Proebsting [21]). This file implements the second family over the *same*
+// compressed regions: instead of materializing a region into the buffer,
+// the runtime decodes and executes its instructions one at a time at their
+// *virtual* buffer addresses.
+//
+//   - Intra-region control flow stays virtual: branch targets inside the
+//     buffer address range map back to instruction indices through a
+//     per-region index (two bytes per instruction, charged to the
+//     footprint).
+//   - Calls leave the interpreter through the same CreateStub/restore-stub
+//     machinery as decompression mode; a restore stub resumes
+//     interpretation at its tag's offset rather than refilling a buffer.
+//   - Every interpreted instruction pays a decode-and-dispatch cost
+//     (vm.CostModel.InterpPerInst) on top of its own execution cost —
+//     which is exactly the §8 trade-off: no buffer and no decompression
+//     latency, but cold code runs slower every time it executes.
+//
+// The decoded regions are cached Go-side for simulation speed, just as the
+// decompressor runs natively; the model charges the per-execution decode
+// work through the cycle counter.
+
+// interpRegion is the decoded form of one region plus its offset index.
+type interpRegion struct {
+	insts    []isa.Inst
+	offs     []int       // buffer word offset of each instruction
+	offToIdx map[int]int // inverse of offs
+}
+
+// interpState is the interpreter's current position.
+type interpState struct {
+	active bool
+	region int
+	idx    int
+}
+
+// interpPC is the parked program counter while interpreting: the word right
+// after the decompressor's entry points, guaranteed inside the hook range.
+func (rt *Runtime) interpPC() uint32 {
+	return rt.meta.DecompAddr + NumEntryRegs*isa.WordSize
+}
+
+// loadInterpRegions decodes every region once and builds the offset
+// indices.
+func (rt *Runtime) loadInterpRegions() error {
+	rt.iregions = make([]*interpRegion, len(rt.meta.OffsetTable))
+	for id, off := range rt.meta.OffsetTable {
+		ir := &interpRegion{offToIdx: map[int]int{}}
+		pos := 1
+		_, err := rt.comp.Decompress(rt.meta.Blob, int(off), func(in isa.Inst) error {
+			ir.offToIdx[pos] = len(ir.insts)
+			ir.insts = append(ir.insts, in)
+			ir.offs = append(ir.offs, pos)
+			if in.Op == isa.OpBSRX || in.Op == isa.OpJSRX {
+				pos += 2
+			} else {
+				pos++
+			}
+			return nil
+		})
+		if err != nil {
+			return fmt.Errorf("core: interpret mode: decoding region %d: %w", id, err)
+		}
+		rt.iregions[id] = ir
+	}
+	return nil
+}
+
+// inVirtualBuffer reports whether addr lies in the (reserved, unbacked)
+// buffer address range used for virtual placement of interpreted code.
+func (rt *Runtime) inVirtualBuffer(addr uint32) bool { return rt.inBuffer(addr) }
+
+// startInterp positions the interpreter at a region offset and parks the PC.
+func (rt *Runtime) startInterp(m *vm.Machine, region, offset int) error {
+	if region >= len(rt.iregions) {
+		return fmt.Errorf("core: tag names region %d of %d", region, len(rt.iregions))
+	}
+	ir := rt.iregions[region]
+	idx, ok := ir.offToIdx[offset]
+	if !ok {
+		return fmt.Errorf("core: interpret entry at region %d offset %d, which is not an instruction boundary", region, offset)
+	}
+	rt.interp = interpState{active: true, region: region, idx: idx}
+	rt.Stats.InterpEntries++
+	m.PC = rt.interpPC()
+	return nil
+}
+
+// interpStep decodes and executes one instruction of the current region.
+func (rt *Runtime) interpStep(m *vm.Machine) error {
+	st := &rt.interp
+	if !st.active {
+		return fmt.Errorf("core: interpreter stepped while inactive (pc=%#x)", m.PC)
+	}
+	ir := rt.iregions[st.region]
+	if st.idx >= len(ir.insts) {
+		return fmt.Errorf("core: interpreter ran off the end of region %d", st.region)
+	}
+	in := ir.insts[st.idx]
+	vpc := rt.meta.RtBufAddr + uint32(ir.offs[st.idx]*isa.WordSize)
+	m.Cycles += m.Cost.InterpPerInst
+	rt.Stats.InterpInsts++
+
+	// leaveTo transfers control to a real (non-virtual) address.
+	leaveTo := func(target uint32) {
+		st.active = false
+		m.PC = target
+	}
+	// continueAt keeps interpreting at a virtual target address.
+	continueAt := func(target uint32) error {
+		off := int(target-rt.meta.RtBufAddr) / isa.WordSize
+		idx, ok := ir.offToIdx[off]
+		if !ok {
+			return fmt.Errorf("core: virtual branch to non-boundary offset %d in region %d", off, st.region)
+		}
+		st.idx = idx
+		m.PC = rt.interpPC()
+		return nil
+	}
+	dispatch := func(target uint32) error {
+		if rt.inVirtualBuffer(target) {
+			return continueAt(target)
+		}
+		leaveTo(target)
+		return nil
+	}
+
+	switch in.Op {
+	case isa.OpBSRX:
+		// Expanded direct call: link through a restore stub whose tag
+		// resumes interpretation right after the (virtual) two-word pair.
+		resume := uint32(ir.offs[st.idx] + 2)
+		slotAddr, err := rt.allocStub(m, uint32(st.region)<<16|resume, in.RA)
+		if err != nil {
+			return err
+		}
+		m.Reg[in.RA] = int32(slotAddr)
+		// The transfer branch is relative to the word after the pair.
+		target := vpc + 2*isa.WordSize + uint32(in.Disp)*isa.WordSize
+		return dispatch(target)
+	case isa.OpJSRX:
+		resume := uint32(ir.offs[st.idx] + 2)
+		slotAddr, err := rt.allocStub(m, uint32(st.region)<<16|resume, in.RA)
+		if err != nil {
+			return err
+		}
+		m.Reg[in.RA] = int32(slotAddr)
+		return dispatch(uint32(m.Reg[in.RB]) &^ 3)
+	default:
+		next, err := m.ExecInst(in, vpc)
+		if err != nil {
+			return err
+		}
+		if m.Halted {
+			return nil
+		}
+		return dispatch(next)
+	}
+}
+
+// interpEnter handles hook entries in interpret mode; the hook range covers
+// the decompressor entries, the restore-stub area, and the virtual buffer.
+func (rt *Runtime) interpEnter(m *vm.Machine) error {
+	pc := m.PC
+	switch {
+	case pc == rt.interpPC():
+		return rt.interpStep(m)
+	case pc >= rt.meta.DecompAddr && pc < rt.meta.DecompAddr+NumEntryRegs*isa.WordSize:
+		// A stub called a decompressor entry point: the return-address
+		// register holds the tag location (entry stubs and compile-time
+		// restore stubs live in never-compressed code).
+		reg := (pc - rt.meta.DecompAddr) / isa.WordSize
+		retaddr := uint32(m.Reg[reg])
+		tag, err := m.ReadWord(retaddr)
+		if err != nil {
+			return fmt.Errorf("core: cannot read entry tag: %w", err)
+		}
+		rt.Stats.Decompressions++ // region entry event, for parity of stats
+		return rt.startInterp(m, int(tag>>16), int(tag&0xFFFF))
+	case rt.inStubArea(pc):
+		// A callee returned directly into a restore stub slot: emulate the
+		// stub without executing its materialized words.
+		idx := int(pc-rt.meta.StubAreaAddr) / (StubSlotWords * isa.WordSize)
+		if idx < 0 || idx >= len(rt.slots) || !rt.slots[idx].live {
+			return fmt.Errorf("core: return through dead restore stub at %#x", pc)
+		}
+		slot := &rt.slots[idx]
+		tag := slot.tag
+		if rt.Trace != nil {
+			rt.Trace(fmt.Sprintf("restore slot=%d region=%d resume=%d count=%d", idx, tag>>16, tag&0xFFFF, slot.count))
+		}
+		slot.count--
+		rt.Stats.RestoreReturns++
+		m.Cycles += m.Cost.RestoreDispatch
+		if slot.count == 0 {
+			slot.live = false
+			delete(rt.byTag, tag)
+			rt.Stats.LiveStubs--
+		} else if err := m.WriteWord(rt.slotAddr(idx)+8, uint32(slot.count)); err != nil {
+			return err
+		}
+		return rt.startInterp(m, int(tag>>16), int(tag&0xFFFF))
+	case rt.inVirtualBuffer(pc):
+		// Direct control transfer to a virtual address (e.g., a stub's
+		// transfer branch): resume interpretation there.
+		if !rt.interpActiveRegionContains(pc) {
+			return fmt.Errorf("core: control reached virtual address %#x with no active region", pc)
+		}
+		off := int(pc-rt.meta.RtBufAddr) / isa.WordSize
+		return rt.startInterpAtOffset(m, off)
+	default:
+		return fmt.Errorf("core: control reached interpreter-reserved address %#x", pc)
+	}
+}
+
+// interpActiveRegionContains reports whether the interpreter has a current
+// region that owns the given virtual address.
+func (rt *Runtime) interpActiveRegionContains(pc uint32) bool {
+	if rt.interp.region < 0 || rt.interp.region >= len(rt.iregions) {
+		return false
+	}
+	off := int(pc-rt.meta.RtBufAddr) / isa.WordSize
+	_, ok := rt.iregions[rt.interp.region].offToIdx[off]
+	return ok
+}
+
+// startInterpAtOffset resumes the current region at a virtual offset.
+func (rt *Runtime) startInterpAtOffset(m *vm.Machine, off int) error {
+	ir := rt.iregions[rt.interp.region]
+	idx, ok := ir.offToIdx[off]
+	if !ok {
+		return fmt.Errorf("core: virtual resume at non-boundary offset %d", off)
+	}
+	rt.interp.active = true
+	rt.interp.idx = idx
+	m.PC = rt.interpPC()
+	return nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// interpConf builds an interpret-mode config.
+func interpConf(theta float64, k int) Config {
+	conf := DefaultConfig()
+	conf.Theta = theta
+	conf.Regions.K = k
+	conf.Interpret = true
+	return conf
+}
+
+func TestInterpretModeBehaviouralEquivalence(t *testing.T) {
+	obj, im, counts := prepare(t, testProgram, profInput)
+	base := runBaseline(t, im, timingInput)
+	for _, theta := range []float64{0, 0.01, 1.0} {
+		for _, k := range []int{96, 512} {
+			out, err := Squash(obj, counts, interpConf(theta, k))
+			if err != nil {
+				t.Fatalf("θ=%v K=%d: %v", theta, k, err)
+			}
+			sq, rt := runSquashed(t, out, timingInput)
+			assertEquivalent(t, base, sq)
+			if theta == 1.0 && rt.Stats.InterpInsts == 0 {
+				t.Errorf("θ=1 K=%d: nothing was interpreted", k)
+			}
+			if rt.Stats.LiveStubs != 0 {
+				t.Errorf("θ=%v K=%d: %d stubs leaked", theta, k, rt.Stats.LiveStubs)
+			}
+		}
+	}
+}
+
+func TestInterpretModeFootprint(t *testing.T) {
+	obj, _, counts := prepare(t, testProgram, profInput)
+	dec, err := Squash(obj, counts, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := DefaultConfig()
+	conf.Interpret = true
+	itp, err := Squash(obj, counts, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if itp.Foot.RuntimeBuffer != 0 {
+		t.Errorf("interpret mode charges a runtime buffer: %d", itp.Foot.RuntimeBuffer)
+	}
+	if itp.Foot.InterpIndex == 0 {
+		t.Error("interpret mode has no index cost")
+	}
+	if dec.Foot.InterpIndex != 0 || dec.Foot.RuntimeBuffer == 0 {
+		t.Errorf("decompress-mode footprint wrong: %+v", dec.Foot)
+	}
+	t.Logf("decompress: %d bytes (buffer %d); interpret: %d bytes (index %d)",
+		dec.Foot.Total(), dec.Foot.RuntimeBuffer, itp.Foot.Total(), itp.Foot.InterpIndex)
+}
+
+func TestInterpretModeTradeOff(t *testing.T) {
+	// The §8 trade-off, both directions. When compressed code executes many
+	// instructions per region entry (a hot loop at θ=1 on a long input),
+	// decompress-once-run-native wins by a wide margin. When region visits
+	// are brief and entries frequent (cold triggers), interpretation can
+	// win, because it never pays whole-region decompression.
+	obj, _, counts := prepare(t, testProgram, profInput)
+	dec1, err := Squash(obj, counts, func() Config {
+		c := DefaultConfig()
+		c.Theta = 1
+		return c
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	itp1, err := Squash(obj, counts, interpConf(1, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long trigger-free input: the compressed hot loop dominates.
+	long := make([]byte, 4000)
+	for i := range long {
+		long[i] = 'a' + byte(i%26)
+	}
+	mDec, _ := runSquashed(t, dec1, long)
+	mItp, _ := runSquashed(t, itp1, long)
+	if mItp.Cycles <= mDec.Cycles {
+		t.Errorf("hot-loop case: interpretation (%d cycles) should lose to decompression (%d)",
+			mItp.Cycles, mDec.Cycles)
+	}
+	t.Logf("hot loop θ=1: decompress %d cycles, interpret %d (×%.2f)",
+		mDec.Cycles, mItp.Cycles, float64(mItp.Cycles)/float64(mDec.Cycles))
+
+	// Brief-visit case: cold triggers on the regular timing input.
+	mDec2, rtDec := runSquashed(t, dec1, timingInput)
+	mItp2, rtItp := runSquashed(t, itp1, timingInput)
+	t.Logf("brief visits: decompress %d cycles (%d decompressions), interpret %d (%d insts interpreted)",
+		mDec2.Cycles, rtDec.Stats.Decompressions, mItp2.Cycles, rtItp.Stats.InterpInsts)
+}
+
+func TestInterpretModeMetaRoundTrip(t *testing.T) {
+	obj, _, counts := prepare(t, testProgram, profInput)
+	out, err := Squash(obj, counts, interpConf(1, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := out.Meta.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalMeta(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Interpret {
+		t.Fatal("Interpret flag lost in serialization")
+	}
+	// A runtime built from the round-tripped meta still works.
+	rt, err := NewRuntime(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(out.Image, []byte("a0b"))
+	rt.Install(m)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterpretModeRecursionSharesStub(t *testing.T) {
+	obj, _, counts := prepare(t, testProgram, profInput)
+	out, err := Squash(obj, counts, interpConf(1, 96))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rt := runSquashed(t, out, []byte("1")) // '1' drives coldrec(4)
+	if rt.Stats.CreateStubHits == 0 {
+		t.Error("recursive call sites did not share a restore stub")
+	}
+	if rt.Stats.LiveStubs != 0 {
+		t.Error("stub leak in interpret mode")
+	}
+}

@@ -1,0 +1,172 @@
+// Package core implements squash, the paper's profile-guided code
+// compressor (Debray & Evans, PLDI 2002): a binary rewriter that replaces
+// infrequently executed code regions with entry stubs and a compressed
+// representation, decompressed on demand at run time into a small fixed
+// buffer, plus the runtime machinery (decompressor dispatch, dynamically
+// created reference-counted restore stubs) that makes function calls out of
+// the buffer work.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/streamcomp"
+)
+
+// DecompWords is the reserved size of the in-image decompressor, in words.
+// The first NumEntryRegs words are the per-register entry points (§2.3: one
+// entry point per possible return-address register); the rest stands in for
+// the decompressor body and its CreateStub logic. 600 words ≈ 2.4 KB is a
+// realistic size for a canonical-Huffman split-stream decoder with the
+// paper's decoder loop; it is charged in full against the squashed
+// program's footprint.
+const DecompWords = 600
+
+// NumEntryRegs is the number of decompressor entry points (one per
+// general-purpose register that could hold the return address).
+const NumEntryRegs = 32
+
+// StubSlotWords is the size of one dynamically created restore stub:
+// the call to the decompressor, the tag word, and the usage count (the
+// paper's "additional 8 bytes per stub in order to maintain the count",
+// rounded up to a word-aligned slot).
+const StubSlotWords = 4
+
+// Meta is the squash runtime description stored alongside the image. In
+// the paper's artifact this state is the decompressor's private data inside
+// the binary; its size is charged to the footprint via the offset table and
+// code tables entries of the accounting, not via this encoding.
+type Meta struct {
+	DecompAddr   uint32 // base of the reserved decompressor region
+	StubAreaAddr uint32 // base of the restore-stub area
+	StubCapacity int    // number of StubSlotWords slots
+	RtBufAddr    uint32 // base of the runtime buffer
+	K            int    // runtime buffer size in bytes
+	// Interpret selects the §8 alternative runtime: compressed regions are
+	// interpreted in place instead of decompressed into the buffer.
+	Interpret bool
+
+	// OffsetTable maps region index to the bit offset of its compressed
+	// code within Blob (the paper's function offset table).
+	OffsetTable []uint32
+	// Blob is the merged compressed code of all regions.
+	Blob []byte
+	// Tables is the serialized split-stream compressor (N/D arrays per
+	// stream, plus MTF alphabets when enabled).
+	Tables []byte
+}
+
+// Compressor deserializes the stream coder tables.
+func (m *Meta) Compressor() (*streamcomp.Compressor, error) {
+	var c streamcomp.Compressor
+	if err := c.UnmarshalBinary(m.Tables); err != nil {
+		return nil, fmt.Errorf("core: bad compressor tables: %w", err)
+	}
+	return &c, nil
+}
+
+// MarshalBinary encodes the metadata.
+func (m *Meta) MarshalBinary() ([]byte, error) {
+	le := binary.LittleEndian
+	var out []byte
+	u32 := func(v uint32) { var b [4]byte; le.PutUint32(b[:], v); out = append(out, b[:]...) }
+	out = append(out, 'S', 'Q', 'M', '1')
+	u32(m.DecompAddr)
+	u32(m.StubAreaAddr)
+	u32(uint32(m.StubCapacity))
+	u32(m.RtBufAddr)
+	u32(uint32(m.K))
+	if m.Interpret {
+		u32(1)
+	} else {
+		u32(0)
+	}
+	u32(uint32(len(m.OffsetTable)))
+	for _, v := range m.OffsetTable {
+		u32(v)
+	}
+	u32(uint32(len(m.Blob)))
+	out = append(out, m.Blob...)
+	u32(uint32(len(m.Tables)))
+	out = append(out, m.Tables...)
+	return out, nil
+}
+
+// UnmarshalMeta decodes metadata written by MarshalBinary.
+func UnmarshalMeta(data []byte) (*Meta, error) {
+	if len(data) < 4 || string(data[:4]) != "SQM1" {
+		return nil, fmt.Errorf("core: bad metadata magic")
+	}
+	le := binary.LittleEndian
+	pos := 4
+	u32 := func() (uint32, error) {
+		if pos+4 > len(data) {
+			return 0, fmt.Errorf("core: truncated metadata at byte %d", pos)
+		}
+		v := le.Uint32(data[pos:])
+		pos += 4
+		return v, nil
+	}
+	m := &Meta{}
+	var err error
+	if m.DecompAddr, err = u32(); err != nil {
+		return nil, err
+	}
+	if m.StubAreaAddr, err = u32(); err != nil {
+		return nil, err
+	}
+	cap32, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	m.StubCapacity = int(cap32)
+	if m.RtBufAddr, err = u32(); err != nil {
+		return nil, err
+	}
+	k32, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	m.K = int(k32)
+	interp, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	m.Interpret = interp == 1
+	n, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > (len(data)-pos)/4 {
+		return nil, fmt.Errorf("core: implausible offset table size %d", n)
+	}
+	m.OffsetTable = make([]uint32, n)
+	for i := range m.OffsetTable {
+		if m.OffsetTable[i], err = u32(); err != nil {
+			return nil, err
+		}
+	}
+	bl, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(bl) > len(data)-pos {
+		return nil, fmt.Errorf("core: truncated blob")
+	}
+	m.Blob = append([]byte(nil), data[pos:pos+int(bl)]...)
+	pos += int(bl)
+	tl, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(tl) > len(data)-pos {
+		return nil, fmt.Errorf("core: truncated tables")
+	}
+	m.Tables = append([]byte(nil), data[pos:pos+int(tl)]...)
+	pos += int(tl)
+	if pos != len(data) {
+		return nil, fmt.Errorf("core: %d trailing metadata bytes", len(data)-pos)
+	}
+	return m, nil
+}

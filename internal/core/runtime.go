@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/streamcomp"
+	"repro/internal/vm"
+)
+
+// Runtime is the squash decompression runtime, installed as the simulator's
+// hook over the reserved decompressor region. It mirrors §2.2–2.3 of the
+// paper exactly:
+//
+//   - The decompressor has one entry point per possible return-address
+//     register (the first NumEntryRegs words of the reserved region).
+//   - CreateStub and Decompress share these entry points; the caller's
+//     origin distinguishes them: a return address inside the runtime buffer
+//     means CreateStub, inside the stub area means a restore-stub return,
+//     anywhere else an entry stub whose tag word follows the call.
+//   - Restore stubs are created at run time, one per compressed call site,
+//     with a usage count; the stub is freed when its count drops to zero —
+//     "a simple reference-count-based garbage collection scheme".
+//
+// All work is charged to the simulated cycle counter using the machine's
+// cost model: bits consumed by the canonical Huffman decoder, instructions
+// materialized, the instruction-cache flush, and stub management.
+type Runtime struct {
+	meta *Meta
+	comp *streamcomp.Compressor
+
+	curRegion int // region currently in the buffer; -1 when none
+
+	slots []stubSlot
+	byTag map[uint32]int // live stub tag -> slot index
+
+	// Interpret-in-place state (§8 alternative; see interp.go).
+	iregions []*interpRegion
+	interp   interpState
+
+	Stats RuntimeStats
+
+	// Trace, when set, receives one line per runtime event (diagnostics).
+	Trace func(string)
+}
+
+type stubSlot struct {
+	live  bool
+	tag   uint32
+	count int
+	reg   uint32 // return-address register the stub's bsr uses
+}
+
+// RuntimeStats counts runtime events for the evaluation harness.
+type RuntimeStats struct {
+	Decompressions   uint64 // regions decompressed into the buffer
+	BitsRead         uint64 // compressed bits consumed
+	InstsEmitted     uint64 // instructions materialized into the buffer
+	CreateStubHits   uint64 // restore-stub reuses (count bump)
+	CreateStubMisses uint64 // restore stubs created
+	RestoreReturns   uint64 // returns dispatched through restore stubs
+	MaxLiveStubs     int    // high-water mark of simultaneously live stubs
+	LiveStubs        int    // currently live
+	InterpEntries    uint64 // interpret mode: region entries
+	InterpInsts      uint64 // interpret mode: instructions interpreted
+}
+
+// NewRuntime builds the runtime for a squashed image's metadata.
+func NewRuntime(meta *Meta) (*Runtime, error) {
+	comp, err := meta.Compressor()
+	if err != nil {
+		return nil, err
+	}
+	rt := &Runtime{
+		meta:      meta,
+		comp:      comp,
+		curRegion: -1,
+		slots:     make([]stubSlot, meta.StubCapacity),
+		byTag:     map[uint32]int{},
+	}
+	if meta.Interpret {
+		if err := rt.loadInterpRegions(); err != nil {
+			return nil, err
+		}
+	}
+	return rt, nil
+}
+
+// Range reports the intercepted address interval: the decompressor region
+// in normal mode; in interpret mode it extends through the restore-stub
+// area and the virtual buffer, which are emulated rather than executed.
+func (rt *Runtime) Range() (uint32, uint32) {
+	if rt.meta.Interpret {
+		return rt.meta.DecompAddr, rt.meta.RtBufAddr + uint32(rt.meta.K)
+	}
+	return rt.meta.DecompAddr, rt.meta.DecompAddr + DecompWords*isa.WordSize
+}
+
+func (rt *Runtime) inBuffer(addr uint32) bool {
+	return addr >= rt.meta.RtBufAddr && addr < rt.meta.RtBufAddr+uint32(rt.meta.K)
+}
+
+func (rt *Runtime) inStubArea(addr uint32) bool {
+	return rt.meta.StubCapacity > 0 &&
+		addr >= rt.meta.StubAreaAddr &&
+		addr < rt.meta.StubAreaAddr+uint32(rt.meta.StubCapacity*StubSlotWords*isa.WordSize)
+}
+
+// Enter handles control arriving at a decompressor entry point.
+func (rt *Runtime) Enter(m *vm.Machine) error {
+	if rt.meta.Interpret {
+		return rt.interpEnter(m)
+	}
+	off := m.PC - rt.meta.DecompAddr
+	reg := off / isa.WordSize
+	if off%isa.WordSize != 0 || reg >= NumEntryRegs {
+		return fmt.Errorf("core: control reached decompressor body at %#x", m.PC)
+	}
+	retaddr := uint32(m.Reg[reg])
+	switch {
+	case rt.inBuffer(retaddr):
+		return rt.createStub(m, reg, retaddr)
+	case rt.inStubArea(retaddr):
+		return rt.restoreReturn(m, retaddr)
+	default:
+		return rt.entryStub(m, retaddr)
+	}
+}
+
+// entryStub: the tag word follows the call instruction in never-compressed
+// code; decompress the region and dispatch.
+func (rt *Runtime) entryStub(m *vm.Machine, tagAddr uint32) error {
+	tag, err := m.ReadWord(tagAddr)
+	if err != nil {
+		return fmt.Errorf("core: cannot read entry tag: %w", err)
+	}
+	return rt.decompressAndJump(m, tag)
+}
+
+// createStub: a call is leaving the runtime buffer; make (or reuse) the
+// restore stub for this call site and point the return register at it, then
+// resume at the transfer instruction.
+func (rt *Runtime) createStub(m *vm.Machine, reg, transferAddr uint32) error {
+	resume := (transferAddr-rt.meta.RtBufAddr)/isa.WordSize + 1
+	if rt.curRegion < 0 {
+		return fmt.Errorf("core: CreateStub with empty buffer")
+	}
+	tag := uint32(rt.curRegion)<<16 | resume
+	if rt.Trace != nil {
+		rt.Trace(fmt.Sprintf("createStub reg=%d transfer=%#x region=%d resume=%d", reg, transferAddr, rt.curRegion, resume))
+	}
+	slotAddr, err := rt.allocStub(m, tag, reg)
+	if err != nil {
+		return err
+	}
+	// Point the call's return register at the stub and execute the
+	// transfer instruction.
+	m.Reg[reg] = int32(slotAddr)
+	m.PC = transferAddr
+	return nil
+}
+
+// allocStub finds or creates the restore stub for a call-site tag,
+// maintaining the usage count (in memory, so the paper's 8-bytes-per-stub
+// cost is real), and returns the slot's address.
+func (rt *Runtime) allocStub(m *vm.Machine, tag uint32, reg uint32) (uint32, error) {
+	idx, live := rt.byTag[tag]
+	if live {
+		rt.slots[idx].count++
+		rt.Stats.CreateStubHits++
+		m.Cycles += m.Cost.CreateStubHit
+	} else {
+		idx = -1
+		for i := range rt.slots {
+			if !rt.slots[i].live {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return 0, fmt.Errorf("core: restore-stub area exhausted (%d slots)", rt.meta.StubCapacity)
+		}
+		rt.slots[idx] = stubSlot{live: true, tag: tag, count: 1, reg: reg}
+		rt.byTag[tag] = idx
+		rt.Stats.CreateStubMisses++
+		rt.Stats.LiveStubs++
+		if rt.Stats.LiveStubs > rt.Stats.MaxLiveStubs {
+			rt.Stats.MaxLiveStubs = rt.Stats.LiveStubs
+		}
+		m.Cycles += m.Cost.CreateStubMiss
+		// Materialize the stub: bsr reg -> decompressor entry for reg,
+		// then the tag word.
+		slotAddr := rt.slotAddr(idx)
+		entryWord := int32(rt.meta.DecompAddr)/isa.WordSize + int32(reg)
+		disp := entryWord - (int32(slotAddr)/isa.WordSize + 1)
+		if err := m.WriteWord(slotAddr, isa.Encode(isa.Br(isa.OpBSR, reg, disp))); err != nil {
+			return 0, err
+		}
+		if err := m.WriteWord(slotAddr+4, tag); err != nil {
+			return 0, err
+		}
+	}
+	if err := m.WriteWord(rt.slotAddr(idx)+8, uint32(rt.slots[idx].count)); err != nil {
+		return 0, err
+	}
+	return rt.slotAddr(idx), nil
+}
+
+func (rt *Runtime) slotAddr(idx int) uint32 {
+	return rt.meta.StubAreaAddr + uint32(idx*StubSlotWords*isa.WordSize)
+}
+
+// restoreReturn: a callee returned into a restore stub; drop the stub's
+// usage count, re-decompress the caller's region, and continue at the
+// instruction after the original call.
+func (rt *Runtime) restoreReturn(m *vm.Machine, tagAddr uint32) error {
+	idx := int(tagAddr-rt.meta.StubAreaAddr-isa.WordSize) / (StubSlotWords * isa.WordSize)
+	if idx < 0 || idx >= len(rt.slots) || !rt.slots[idx].live {
+		return fmt.Errorf("core: return through dead restore stub at %#x", tagAddr)
+	}
+	slot := &rt.slots[idx]
+	tag := slot.tag
+	if rt.Trace != nil {
+		rt.Trace(fmt.Sprintf("restore slot=%d region=%d resume=%d count=%d", idx, tag>>16, tag&0xFFFF, slot.count))
+	}
+	slot.count--
+	rt.Stats.RestoreReturns++
+	m.Cycles += m.Cost.RestoreDispatch
+	if slot.count == 0 {
+		slot.live = false
+		delete(rt.byTag, tag)
+		rt.Stats.LiveStubs--
+	} else if err := m.WriteWord(rt.slotAddr(idx)+8, uint32(slot.count)); err != nil {
+		return err
+	}
+	return rt.decompressAndJump(m, tag)
+}
+
+// decompressAndJump fills the runtime buffer with the region named by the
+// tag and transfers control to the tag's offset via the dispatch jump at
+// buffer word 0 (§2.3 steps 2–5).
+func (rt *Runtime) decompressAndJump(m *vm.Machine, tag uint32) error {
+	region := int(tag >> 16)
+	offset := int(tag & 0xFFFF)
+	if rt.Trace != nil {
+		rt.Trace(fmt.Sprintf("decompress region=%d offset=%d", region, offset))
+	}
+	if region >= len(rt.meta.OffsetTable) {
+		return fmt.Errorf("core: tag names region %d of %d", region, len(rt.meta.OffsetTable))
+	}
+	base := rt.meta.RtBufAddr
+	maxWords := rt.meta.K / isa.WordSize
+	if offset <= 0 || offset >= maxWords {
+		return fmt.Errorf("core: tag offset %d outside buffer of %d words", offset, maxWords)
+	}
+
+	// Dispatch jump from buffer word 0 to the target offset.
+	if err := m.WriteWord(base, isa.Encode(isa.Br(isa.OpBR, isa.RegZero, int32(offset-1)))); err != nil {
+		return err
+	}
+
+	pos := 1
+	decompWord := int32(rt.meta.DecompAddr) / isa.WordSize
+	bufWord := int32(base) / isa.WordSize
+	emit := func(w uint32) error {
+		if pos >= maxWords {
+			return fmt.Errorf("core: region %d overflows the runtime buffer", region)
+		}
+		if err := m.WriteWord(base+uint32(pos*isa.WordSize), w); err != nil {
+			return err
+		}
+		pos++
+		return nil
+	}
+	bits, err := rt.comp.Decompress(rt.meta.Blob, int(rt.meta.OffsetTable[region]), func(in isa.Inst) error {
+		switch in.Op {
+		case isa.OpBSRX:
+			// Expanded direct call: bsr reg -> CreateStub entry, then the
+			// branch to the callee with the displacement stored in the
+			// compressed stream (relative to the word after the branch).
+			csDisp := decompWord + int32(in.RA) - (bufWord + int32(pos) + 1)
+			if err := emit(isa.Encode(isa.Br(isa.OpBSR, in.RA, csDisp))); err != nil {
+				return err
+			}
+			return emit(isa.Encode(isa.Br(isa.OpBR, isa.RegZero, in.Disp)))
+		case isa.OpJSRX:
+			// Expanded indirect call: bsr reg -> CreateStub entry, then a
+			// non-linking jump through the original target register.
+			csDisp := decompWord + int32(in.RA) - (bufWord + int32(pos) + 1)
+			if err := emit(isa.Encode(isa.Br(isa.OpBSR, in.RA, csDisp))); err != nil {
+				return err
+			}
+			return emit(isa.Encode(isa.Jump(isa.JmpJMP, isa.RegZero, in.RB, 0)))
+		default:
+			return emit(isa.Encode(in))
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("core: decompressing region %d: %w", region, err)
+	}
+	m.ICacheFlush(base, base+uint32(pos*isa.WordSize))
+	rt.Stats.Decompressions++
+	rt.Stats.BitsRead += uint64(bits)
+	rt.Stats.InstsEmitted += uint64(pos - 1)
+	m.Cycles += m.Cost.DecompBase +
+		m.Cost.DecompPerBit*uint64(bits) +
+		m.Cost.DecompPerInst*uint64(pos-1) +
+		m.Cost.IcacheFlushPerWord*uint64(pos)
+	rt.curRegion = region
+	m.PC = base
+	return nil
+}
+
+// Install attaches the runtime to a machine.
+func (rt *Runtime) Install(m *vm.Machine) { m.Hook = rt }

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// squashTestProgram builds a squashed image of the shared test program with
+// a small buffer so several regions form.
+func squashTestProgram(t *testing.T, mod func(*Config)) *Output {
+	t.Helper()
+	obj, _, counts := prepare(t, testProgram, profInput)
+	conf := DefaultConfig()
+	conf.Regions.K = 96
+	conf.Theta = 1.0
+	if mod != nil {
+		mod(&conf)
+	}
+	out, err := Squash(obj, counts, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRuntimeRejectsCorruptBlob(t *testing.T) {
+	out := squashTestProgram(t, nil)
+	// Flip bits throughout the blob; every run must either complete with
+	// correct-length output or fail cleanly — never hang or panic.
+	for i := 0; i < len(out.Meta.Blob); i += 5 {
+		meta := *out.Meta
+		meta.Blob = append([]byte(nil), out.Meta.Blob...)
+		meta.Blob[i] ^= 0x55
+		rt, err := NewRuntime(&meta)
+		if err != nil {
+			continue
+		}
+		m := vm.New(out.Image, timingInput)
+		m.MaxInstructions = 3_000_000
+		rt.Install(m)
+		_ = m.Run() // error or miscomputation are both acceptable: no hang
+	}
+}
+
+func TestRuntimeRejectsCorruptTables(t *testing.T) {
+	out := squashTestProgram(t, nil)
+	meta := *out.Meta
+	meta.Tables = append([]byte(nil), out.Meta.Tables...)
+	meta.Tables[len(meta.Tables)/2] ^= 0xFF
+	if _, err := NewRuntime(&meta); err == nil {
+		// Some corruptions still deserialize; then the run must not hang.
+		rt, _ := NewRuntime(&meta)
+		m := vm.New(out.Image, timingInput)
+		m.MaxInstructions = 3_000_000
+		rt.Install(m)
+		_ = m.Run()
+	}
+}
+
+func TestRuntimeBadTagOffset(t *testing.T) {
+	out := squashTestProgram(t, nil)
+	rt, err := NewRuntime(out.Meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(out.Image, timingInput)
+	rt.Install(m)
+	// Force a bogus region index by corrupting the first entry stub's tag
+	// word in memory (the word after the first bsr into the decompressor).
+	lo, _ := rt.Range()
+	found := false
+	for a := uint32(0x1000); a < lo && !found; a += 4 {
+		w, err := m.ReadWord(a)
+		if err != nil {
+			break
+		}
+		in := isa.Decode(w)
+		if in.Op == isa.OpBSR && in.RA == isa.RegAT {
+			if err := m.WriteWord(a+4, 0xFFFF0001); err != nil {
+				t.Fatal(err)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Skip("no entry stub found before decompressor")
+	}
+	m.MaxInstructions = 3_000_000
+	err = m.Run()
+	if err == nil || !strings.Contains(err.Error(), "region") {
+		t.Fatalf("corrupted tag produced %v, want region-range error", err)
+	}
+}
+
+func TestRuntimeStubExhaustion(t *testing.T) {
+	// Capacity 1 with recursive cold code requires only one slot (the
+	// recursion shares a call site); capacity 0... is not constructible via
+	// config (clamped), so exercise exhaustion by a tiny capacity and a
+	// program with more distinct simultaneous call sites.
+	obj, _, counts := prepare(t, testProgram, profInput)
+	conf := DefaultConfig()
+	conf.Regions.K = 96
+	conf.Theta = 1.0
+	conf.StubCapacity = 1
+	out, err := Squash(obj, counts, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := NewRuntime(out.Meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(out.Image, timingInput)
+	m.MaxInstructions = 20_000_000
+	rt.Install(m)
+	if err := m.Run(); err != nil {
+		if !strings.Contains(err.Error(), "exhausted") {
+			t.Fatalf("unexpected failure: %v", err)
+		}
+		return // clean diagnosis
+	}
+	// If one slot sufficed, the run must still be correct.
+	if rt.Stats.LiveStubs != 0 {
+		t.Fatal("stub leak")
+	}
+}
+
+func TestRuntimeEnterBodyTraps(t *testing.T) {
+	out := squashTestProgram(t, nil)
+	rt, err := NewRuntime(out.Meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(out.Image, nil)
+	rt.Install(m)
+	lo, hi := rt.Range()
+	if hi-lo != DecompWords*4 {
+		t.Fatalf("hook range %d bytes", hi-lo)
+	}
+	// Jump straight into the decompressor body (past the entry points).
+	m.PC = lo + NumEntryRegs*4 + 8
+	if err := m.Step(); err == nil || !strings.Contains(err.Error(), "body") {
+		t.Fatalf("body entry gave %v", err)
+	}
+}
+
+func TestUnmarshalMetaGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("SQM1"),
+		[]byte("SQM1\x01\x02"),
+	}
+	for _, b := range cases {
+		if _, err := UnmarshalMeta(b); err == nil {
+			t.Errorf("UnmarshalMeta(%q) accepted", b)
+		}
+	}
+	// Round trip sanity with an empty-but-valid meta.
+	m := &Meta{DecompAddr: 0x1000, RtBufAddr: 0x2000, K: 512, StubCapacity: 4}
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalMeta(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K != 512 || back.StubCapacity != 4 {
+		t.Fatalf("round trip: %+v", back)
+	}
+	// Truncations of a valid meta must all be rejected.
+	for n := 0; n < len(blob); n++ {
+		if _, err := UnmarshalMeta(blob[:n]); err == nil {
+			t.Errorf("truncated meta (%d bytes) accepted", n)
+		}
+	}
+}
+
+func TestRuntimeCostCharging(t *testing.T) {
+	out := squashTestProgram(t, nil)
+	baseRun := func(scale uint64) uint64 {
+		rt, err := NewRuntime(out.Meta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := vm.New(out.Image, timingInput)
+		m.Cost.DecompPerBit *= scale
+		m.Cost.DecompPerInst *= scale
+		rt.Install(m)
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Cycles
+	}
+	c1 := baseRun(1)
+	c4 := baseRun(4)
+	if c4 <= c1 {
+		t.Fatalf("scaling decompression cost did not raise cycles: %d vs %d", c1, c4)
+	}
+}
+
+func TestRuntimeStatsConsistency(t *testing.T) {
+	out := squashTestProgram(t, nil)
+	rt, err := NewRuntime(out.Meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(out.Image, timingInput)
+	rt.Install(m)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats
+	if st.RestoreReturns != st.CreateStubHits+st.CreateStubMisses {
+		t.Errorf("restore returns %d != hits %d + misses %d (no longjmp in this program)",
+			st.RestoreReturns, st.CreateStubHits, st.CreateStubMisses)
+	}
+	if st.BitsRead == 0 || st.InstsEmitted == 0 || st.Decompressions == 0 {
+		t.Errorf("stats empty: %+v", st)
+	}
+	if st.MaxLiveStubs < 1 {
+		t.Error("max live stubs not tracked")
+	}
+}

@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/buffersafe"
+	"repro/internal/cfg"
+	"repro/internal/isa"
+	"repro/internal/objfile"
+	"repro/internal/profile"
+	"repro/internal/regions"
+	"repro/internal/unswitch"
+)
+
+// Config parameterizes a squash run.
+type Config struct {
+	// Theta is the cold-code threshold θ (§5): cold code may account for at
+	// most this fraction of the profiled dynamic instruction count.
+	Theta float64
+	// Regions configures region formation (§4): buffer bound K, assumed
+	// compression factor γ, packing.
+	Regions regions.Config
+	// BufferSafe enables the §6.1 analysis: calls from compressed code to
+	// provably buffer-safe callees are left unchanged.
+	BufferSafe bool
+	// Unswitch enables §6.2: cold jump-table dispatches are rewritten to
+	// conditional branches so their blocks become compressible.
+	Unswitch bool
+	// MTF enables the move-to-front variant of the stream coder (§3).
+	MTF bool
+	// Interpret selects the §8 alternative: compressed regions are
+	// *interpreted in place* instead of decompressed into the runtime
+	// buffer (Fraser/Proebsting-style executable compressed code). It
+	// trades the buffer away but pays a per-instruction decode cost at
+	// every execution and an index (4 bytes per enterable boundary: block
+	// starts and post-call resume points). Buffer-safe call elision is
+	// disabled:
+	// interpreted code has no materialized return addresses.
+	Interpret bool
+	// CompileTimeRestoreStubs switches to the rejected §2.2 alternative of
+	// materializing every restore stub statically, for the ablation that
+	// reproduces the paper's 13%–27% never-compressed-code overhead numbers.
+	CompileTimeRestoreStubs bool
+	// StubCapacity is the number of runtime restore-stub slots. The paper
+	// observed at most 9 live stubs even at θ = 0.01.
+	StubCapacity int
+}
+
+// DefaultConfig mirrors the paper's operating point.
+func DefaultConfig() Config {
+	return Config{
+		Theta:        0.0,
+		Regions:      regions.DefaultConfig(),
+		BufferSafe:   true,
+		Unswitch:     true,
+		StubCapacity: 16,
+	}
+}
+
+// Footprint itemizes the squashed program's memory cost, mirroring §2.1:
+// "the latter must take into account the space occupied by the stubs, the
+// decompressor, the function offset table, the compressed code, the runtime
+// buffer, and the never-compressed original program code."
+type Footprint struct {
+	NeverCompressed    int // bytes of surviving program code
+	EntryStubs         int // bytes of entry stubs
+	RestoreStubsStatic int // bytes of compile-time restore stubs (ablation mode)
+	Decompressor       int // bytes reserved for the decompressor/interpreter
+	InterpIndex        int // bytes of branch-target index (interpret mode only)
+	OffsetTable        int // bytes of the function offset table
+	CompressedCode     int // bytes of the compressed blob
+	CodeTables         int // bytes of the per-stream Huffman tables
+	StubArea           int // bytes of the runtime restore-stub area
+	RuntimeBuffer      int // bytes of the runtime buffer (K)
+}
+
+// Total sums all components.
+func (f Footprint) Total() int {
+	return f.NeverCompressed + f.EntryStubs + f.RestoreStubsStatic + f.Decompressor +
+		f.InterpIndex + f.OffsetTable + f.CompressedCode + f.CodeTables +
+		f.StubArea + f.RuntimeBuffer
+}
+
+// Stats summarizes a squash run.
+type Stats struct {
+	InputBytes             int // squeezed text size (the comparison baseline)
+	SquashedBytes          int // Footprint.Total()
+	RegionCount            int
+	EntryStubCount         int
+	StaticRestoreStubCount int
+
+	ColdInsts         int
+	CompressibleInsts int
+	TotalInsts        int
+
+	// CompressionRatio is the achieved γ: compressed bytes (blob + tables)
+	// over the original bytes of the compressed instructions.
+	CompressionRatio float64
+
+	// BufferSafeCalls / CallsInRegions reproduce the §6.1 statistic.
+	BufferSafeCalls int
+	CallsInRegions  int
+
+	Unswitched          int
+	TableBytesReclaimed int
+
+	Excluded map[string]string
+
+	// LoopSplitWarnings lists loops whose blocks the partitioner placed in
+	// different regions (or half-compressed): if the timing input drives
+	// such a loop, every iteration decompresses a region — the pathology
+	// the paper reports for mpeg2dec at K=128 and for SPECint li (§7).
+	LoopSplitWarnings []string
+}
+
+// Reduction reports the code size reduction relative to the input.
+func (s *Stats) Reduction() float64 {
+	if s.InputBytes == 0 {
+		return 0
+	}
+	return 1 - float64(s.SquashedBytes)/float64(s.InputBytes)
+}
+
+// Output is the result of Squash.
+type Output struct {
+	Image *objfile.Image
+	Meta  *Meta
+	Foot  Footprint
+	Stats Stats
+	// RegionLayouts describes, per region, the buffer word offset of every
+	// block (diagnostics and experiment reporting).
+	RegionLayouts []map[string]int
+}
+
+// Squash rewrites a squeezed program: cold regions are removed from the
+// code stream, compressed with the split-stream coder, and replaced by
+// entry stubs that invoke the runtime decompressor.
+//
+// The input object must retain full symbol and relocation information and
+// must not use the AT register (R28), which the rewriter reserves for entry
+// stub linkage, following the Alpha convention that AT belongs to tools.
+func Squash(obj *objfile.Object, counts profile.Counts, conf Config) (*Output, error) {
+	if conf.StubCapacity <= 0 {
+		conf.StubCapacity = 16
+	}
+	p, err := cfg.Build(obj, "main")
+	if err != nil {
+		return nil, fmt.Errorf("squash: %w", err)
+	}
+	if err := p.AttachProfile(counts); err != nil {
+		return nil, fmt.Errorf("squash: %w", err)
+	}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			for _, in := range b.Insts {
+				// System calls are exempt: setjmp/longjmp capture the whole
+				// register file, including AT, but nothing observes AT's
+				// value, so stub clobbers remain invisible.
+				if !in.Raw && in.Format != isa.FormatPal && cfg.TouchesReg(in, isa.RegAT) {
+					return nil, fmt.Errorf("squash: block %s uses reserved register AT (r28)", b.Label)
+				}
+			}
+		}
+	}
+
+	stats := Stats{InputBytes: len(obj.Text) * isa.WordSize}
+
+	cold := profile.IdentifyCold(p, conf.Theta)
+	if conf.Unswitch {
+		ust, err := unswitch.Run(p, func(b *cfg.Block) bool { return cold.Cold[b.Label] })
+		if err != nil {
+			return nil, fmt.Errorf("squash: %w", err)
+		}
+		stats.Unswitched = ust.Unswitched
+		stats.TableBytesReclaimed = ust.TableBytesReclaimed
+		cold = profile.IdentifyCold(p, conf.Theta)
+	}
+
+	res, preds, err := regions.Partition(p, cold.Cold, conf.Regions)
+	if err != nil {
+		return nil, fmt.Errorf("squash: %w", err)
+	}
+	stats.ColdInsts = res.ColdInsts
+	stats.CompressibleInsts = res.CompressibleInsts
+	stats.TotalInsts = res.TotalInsts
+	stats.RegionCount = len(res.Regions)
+	stats.Excluded = res.Excluded
+
+	compressed := map[string]bool{}
+	for l := range res.InRegion {
+		compressed[l] = true
+	}
+
+	owner := map[string]string{} // block label -> owning function
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			owner[b.Label] = f.Name
+		}
+	}
+
+	if conf.Interpret {
+		// Interpreted code cannot be returned into natively; every call
+		// must go through the stub machinery.
+		conf.BufferSafe = false
+	}
+	var bs *buffersafe.Result
+	if conf.BufferSafe {
+		bs = buffersafe.Analyze(p, compressed)
+		safe, total := buffersafe.CallSiteStats(p, compressed, bs)
+		stats.BufferSafeCalls, stats.CallsInRegions = safe, total
+	} else {
+		bs = &buffersafe.Result{Safe: map[string]bool{}}
+		_, total := buffersafe.CallSiteStats(p, compressed, bs)
+		stats.CallsInRegions = total
+	}
+	safeCallee := func(label string) bool { return bs.IsSafe(owner[label]) }
+
+	// §7 diagnostic: warn when a loop's back edge crosses a region
+	// boundary (or leaves compressed code entirely), since repeated
+	// decompression per iteration follows if the loop ever runs hot.
+	for _, e := range p.BackEdges() {
+		fromR, fromIn := res.InRegion[e.From]
+		toR, toIn := res.InRegion[e.To]
+		switch {
+		case fromIn && toIn && fromR != toR:
+			stats.LoopSplitWarnings = append(stats.LoopSplitWarnings,
+				fmt.Sprintf("loop %s->%s split across regions %d and %d", e.From, e.To, fromR, toR))
+		case fromIn != toIn:
+			stats.LoopSplitWarnings = append(stats.LoopSplitWarnings,
+				fmt.Sprintf("loop %s->%s half compressed (latch in region: %v, header in region: %v)",
+					e.From, e.To, fromIn, toIn))
+		}
+	}
+
+	enc := &encoder{
+		conf:       conf,
+		prog:       p,
+		res:        res,
+		preds:      preds,
+		compressed: compressed,
+		safeCallee: safeCallee,
+	}
+	out, err := enc.run(&stats)
+	if err != nil {
+		return nil, fmt.Errorf("squash: %w", err)
+	}
+	return out, nil
+}

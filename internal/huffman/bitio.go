@@ -1,0 +1,88 @@
+// Package huffman implements the canonical Huffman coding scheme of
+// Debray & Evans (PLDI 2002, §3). A canonical code assigns the same codeword
+// *lengths* as an ordinary Huffman code but chooses the codewords
+// deterministically from the length histogram N[i], so that the decoder
+// needs only the histogram and the value array D — "a codeword can be
+// rapidly decoded using the arrays N[i] and D[j]".
+package huffman
+
+// BitWriter accumulates a most-significant-bit-first bit stream.
+type BitWriter struct {
+	buf  []byte
+	bits uint8 // valid bits in cur
+	cur  byte
+	n    int // total bits written
+}
+
+// WriteBits appends the low width bits of v, most significant first.
+func (w *BitWriter) WriteBits(v uint64, width uint) {
+	for i := int(width) - 1; i >= 0; i-- {
+		w.WriteBit(uint8(v >> uint(i) & 1))
+	}
+}
+
+// WriteBit appends a single bit.
+func (w *BitWriter) WriteBit(b uint8) {
+	w.cur = w.cur<<1 | b&1
+	w.bits++
+	w.n++
+	if w.bits == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.bits = 0, 0
+	}
+}
+
+// Len reports the number of bits written so far.
+func (w *BitWriter) Len() int { return w.n }
+
+// Bytes flushes the final partial byte (padding with zero bits) and returns
+// the accumulated buffer. The writer remains usable; further writes continue
+// from the unpadded position only if the bit count was already a multiple of
+// eight, so callers should treat Bytes as terminal.
+func (w *BitWriter) Bytes() []byte {
+	out := w.buf
+	if w.bits > 0 {
+		out = append(out, w.cur<<(8-w.bits))
+	}
+	return out
+}
+
+// BitReader consumes a most-significant-bit-first bit stream and counts the
+// bits it reads, which the simulator's cost model uses to charge
+// decompression work.
+type BitReader struct {
+	buf []byte
+	pos int // bit position
+}
+
+// NewBitReader returns a reader over buf.
+func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// ReadBit returns the next bit. Reading past the end returns zero bits,
+// matching the zero padding emitted by BitWriter.Bytes; decoders terminate
+// on an explicit sentinel value rather than on end of stream.
+func (r *BitReader) ReadBit() uint8 {
+	byteIdx := r.pos >> 3
+	if byteIdx >= len(r.buf) {
+		r.pos++
+		return 0
+	}
+	b := r.buf[byteIdx] >> (7 - uint(r.pos&7)) & 1
+	r.pos++
+	return b
+}
+
+// ReadBits reads width bits, most significant first.
+func (r *BitReader) ReadBits(width uint) uint64 {
+	var v uint64
+	for i := uint(0); i < width; i++ {
+		v = v<<1 | uint64(r.ReadBit())
+	}
+	return v
+}
+
+// BitsRead reports the number of bits consumed so far.
+func (r *BitReader) BitsRead() int { return r.pos }
+
+// Seek positions the reader at an absolute bit offset.
+func (r *BitReader) Seek(bitPos int) { r.pos = bitPos }

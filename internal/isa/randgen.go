@@ -1,0 +1,43 @@
+package isa
+
+import "math/rand"
+
+// RandInsts builds a reproducible pseudo-random, well-formed instruction
+// sequence. It exists for property-based tests across the toolchain
+// packages (encode/decode, split-stream compression, disassembly), which
+// need a shared source of arbitrary-but-valid instructions.
+func RandInsts(seed int64, n int) []Inst {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]Inst, n)
+	for i := range out {
+		out[i] = randInst(r)
+	}
+	return out
+}
+
+func randInst(r *rand.Rand) Inst {
+	ops := []uint32{
+		OpPal, OpLDA, OpLDAH, OpLDB, OpSTB, OpLDW, OpSTW,
+		OpIntA, OpIntL, OpIntS, OpIntM, OpJump,
+		OpBR, OpBSR, OpBEQ, OpBNE, OpBLT, OpBLE, OpBGT, OpBGE,
+	}
+	op := ops[r.Intn(len(ops))]
+	reg := func() uint32 { return uint32(r.Intn(NumRegs)) }
+	switch FormatOf(op) {
+	case FormatPal:
+		return Sys(uint32(r.Intn(1 << 26)))
+	case FormatMem:
+		return Mem(op, reg(), reg(), int32(r.Intn(1<<16))-1<<15)
+	case FormatBranch:
+		return Br(op, reg(), int32(r.Intn(1<<21))-1<<20)
+	case FormatOpReg:
+		fn := uint32(r.Intn(1 << 7))
+		if r.Intn(2) == 0 {
+			return OpL(op, reg(), uint32(r.Intn(256)), fn, reg())
+		}
+		return OpR(op, reg(), reg(), fn, reg())
+	case FormatJump:
+		return Jump(uint32(r.Intn(4)), reg(), reg(), uint32(r.Intn(1<<14)))
+	}
+	panic("unreachable")
+}

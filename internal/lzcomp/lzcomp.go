@@ -1,0 +1,268 @@
+// Package lzcomp implements an alternative region coder: LZ-style
+// dictionary compression over instruction words, in the spirit of Lucco's
+// split-stream dictionary program compression cited by the paper ([19],
+// §8), and of the paper's closing remark that "other algorithms for
+// compression and decompression" are worth exploring (§9).
+//
+// The coder treats a region as a sequence of 32-bit instruction words and
+// emits two kinds of tokens:
+//
+//   - literal: an index into a program-wide dictionary of frequent words
+//     (or an escaped raw 32-bit word when outside the dictionary);
+//   - match: a (distance, length) back-reference into the already-emitted
+//     words of the same region.
+//
+// Token kinds, dictionary indices, distances, and lengths are each coded
+// with their own canonical Huffman code, reusing the paper's decoder
+// machinery. Compared with the split-stream coder it is simpler and decodes
+// fewer codewords per instruction, but it cannot exploit operand-field
+// structure, so its compression factor is worse on code whose redundancy is
+// at the field level; BenchmarkCoderComparison quantifies the trade-off.
+package lzcomp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/huffman"
+	"repro/internal/isa"
+)
+
+// Token kinds in the kind stream.
+const (
+	kindDict  = 0 // dictionary literal
+	kindRaw   = 1 // escaped raw word (32 bits follow)
+	kindMatch = 2 // back-reference (distance, length)
+	kindEnd   = 3 // region terminator
+)
+
+// Match-search parameters.
+const (
+	maxDistance = 255
+	maxLength   = 32
+	minLength   = 2
+	// dictSize bounds the program-wide word dictionary.
+	dictSize = 512
+)
+
+// Compressor holds the trained codes and dictionary.
+type Compressor struct {
+	dict    []uint32 // frequent words, index-coded
+	dictIdx map[uint32]int
+
+	kindCode *huffman.Code
+	dictCode *huffman.Code
+	distCode *huffman.Code
+	lenCode  *huffman.Code
+}
+
+// token is the unit the two passes agree on.
+type token struct {
+	kind      int
+	dictIdx   int
+	raw       uint32
+	dist, len int
+}
+
+// tokenize converts a word sequence into tokens using greedy longest-match.
+func (c *Compressor) tokenize(words []uint32) []token {
+	var out []token
+	for i := 0; i < len(words); {
+		// Longest back-reference within the window.
+		bestLen, bestDist := 0, 0
+		lo := i - maxDistance
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < i; j++ {
+			l := 0
+			for i+l < len(words) && l < maxLength && words[j+l] == words[i+l] {
+				l++
+			}
+			if l > bestLen {
+				bestLen, bestDist = l, i-j
+			}
+		}
+		if bestLen >= minLength {
+			out = append(out, token{kind: kindMatch, dist: bestDist, len: bestLen})
+			i += bestLen
+			continue
+		}
+		if idx, ok := c.dictIdx[words[i]]; ok {
+			out = append(out, token{kind: kindDict, dictIdx: idx})
+		} else {
+			out = append(out, token{kind: kindRaw, raw: words[i]})
+		}
+		i++
+	}
+	out = append(out, token{kind: kindEnd})
+	return out
+}
+
+// Train builds the dictionary and Huffman codes over all regions.
+func Train(seqs [][]isa.Inst) *Compressor {
+	c := &Compressor{dictIdx: map[uint32]int{}}
+
+	// Pass 1a: global word frequencies for the dictionary.
+	wordFreq := map[uint32]uint64{}
+	var regions [][]uint32
+	for _, seq := range seqs {
+		words := make([]uint32, len(seq))
+		for i, in := range seq {
+			words[i] = isa.Encode(in)
+			wordFreq[words[i]]++
+		}
+		regions = append(regions, words)
+	}
+	type wf struct {
+		w uint32
+		f uint64
+	}
+	all := make([]wf, 0, len(wordFreq))
+	for w, f := range wordFreq {
+		if f >= 2 {
+			all = append(all, wf{w, f})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].f != all[j].f {
+			return all[i].f > all[j].f
+		}
+		return all[i].w < all[j].w
+	})
+	if len(all) > dictSize {
+		all = all[:dictSize]
+	}
+	for i, e := range all {
+		c.dict = append(c.dict, e.w)
+		c.dictIdx[e.w] = i
+	}
+
+	// Pass 1b: token statistics.
+	kindF := map[uint32]uint64{}
+	dictF := map[uint32]uint64{}
+	distF := map[uint32]uint64{}
+	lenF := map[uint32]uint64{}
+	for _, words := range regions {
+		for _, t := range c.tokenize(words) {
+			kindF[uint32(t.kind)]++
+			switch t.kind {
+			case kindDict:
+				dictF[uint32(t.dictIdx)]++
+			case kindMatch:
+				distF[uint32(t.dist)]++
+				lenF[uint32(t.len)]++
+			}
+		}
+	}
+	c.kindCode = huffman.Build(kindF)
+	c.dictCode = huffman.Build(dictF)
+	c.distCode = huffman.Build(distF)
+	c.lenCode = huffman.Build(lenF)
+	return c
+}
+
+// Compress appends the coded region to w.
+func (c *Compressor) Compress(w *huffman.BitWriter, seq []isa.Inst) error {
+	words := make([]uint32, len(seq))
+	for i, in := range seq {
+		words[i] = isa.Encode(in)
+	}
+	for _, t := range c.tokenize(words) {
+		if err := c.kindCode.Encode(w, uint32(t.kind)); err != nil {
+			return fmt.Errorf("lzcomp: kind: %w", err)
+		}
+		switch t.kind {
+		case kindDict:
+			if err := c.dictCode.Encode(w, uint32(t.dictIdx)); err != nil {
+				return fmt.Errorf("lzcomp: dict: %w", err)
+			}
+		case kindRaw:
+			w.WriteBits(uint64(t.raw), 32)
+		case kindMatch:
+			if err := c.distCode.Encode(w, uint32(t.dist)); err != nil {
+				return fmt.Errorf("lzcomp: dist: %w", err)
+			}
+			if err := c.lenCode.Encode(w, uint32(t.len)); err != nil {
+				return fmt.Errorf("lzcomp: len: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// CompressedBits reports the coded size of seq, including the terminator.
+func (c *Compressor) CompressedBits(seq []isa.Inst) (int, error) {
+	var w huffman.BitWriter
+	if err := c.Compress(&w, seq); err != nil {
+		return 0, err
+	}
+	return w.Len(), nil
+}
+
+// Decompress decodes one region starting at bit offset bitOff, invoking
+// emit per instruction, and returns the bits consumed.
+func (c *Compressor) Decompress(blob []byte, bitOff int, emit func(isa.Inst) error) (int, error) {
+	r := huffman.NewBitReader(blob)
+	r.Seek(bitOff)
+	var words []uint32
+	push := func(w uint32) error {
+		words = append(words, w)
+		return emit(isa.Decode(w))
+	}
+	for {
+		kind, err := c.kindCode.Decode(r)
+		if err != nil {
+			return r.BitsRead() - bitOff, err
+		}
+		switch kind {
+		case kindEnd:
+			return r.BitsRead() - bitOff, nil
+		case kindDict:
+			idx, err := c.dictCode.Decode(r)
+			if err != nil {
+				return r.BitsRead() - bitOff, err
+			}
+			if int(idx) >= len(c.dict) {
+				return r.BitsRead() - bitOff, fmt.Errorf("lzcomp: dictionary index %d out of range", idx)
+			}
+			if err := push(c.dict[idx]); err != nil {
+				return r.BitsRead() - bitOff, err
+			}
+		case kindRaw:
+			if err := push(uint32(r.ReadBits(32))); err != nil {
+				return r.BitsRead() - bitOff, err
+			}
+		case kindMatch:
+			dist, err := c.distCode.Decode(r)
+			if err != nil {
+				return r.BitsRead() - bitOff, err
+			}
+			length, err := c.lenCode.Decode(r)
+			if err != nil {
+				return r.BitsRead() - bitOff, err
+			}
+			if int(dist) <= 0 || int(dist) > len(words) {
+				return r.BitsRead() - bitOff, fmt.Errorf("lzcomp: distance %d outside window of %d", dist, len(words))
+			}
+			start := len(words) - int(dist)
+			for k := 0; k < int(length); k++ {
+				if err := push(words[start+k]); err != nil {
+					return r.BitsRead() - bitOff, err
+				}
+			}
+		default:
+			return r.BitsRead() - bitOff, fmt.Errorf("lzcomp: unknown token kind %d", kind)
+		}
+	}
+}
+
+// TableBytes reports the serialized size of the dictionary and codes — the
+// data the decompressor must carry.
+func (c *Compressor) TableBytes() int {
+	n := 4 * len(c.dict) // dictionary words
+	for _, code := range []*huffman.Code{c.kindCode, c.dictCode, c.distCode, c.lenCode} {
+		n += code.TableSize()
+	}
+	return n
+}

@@ -1,0 +1,176 @@
+package lzcomp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asm"
+	"repro/internal/huffman"
+	"repro/internal/isa"
+	"repro/internal/mediabench"
+	"repro/internal/objfile"
+	"repro/internal/streamcomp"
+)
+
+func roundTrip(t *testing.T, seqs [][]isa.Inst) *Compressor {
+	t.Helper()
+	c := Train(seqs)
+	var w huffman.BitWriter
+	offsets := make([]int, len(seqs))
+	for i, s := range seqs {
+		offsets[i] = w.Len()
+		if err := c.Compress(&w, s); err != nil {
+			t.Fatalf("Compress region %d: %v", i, err)
+		}
+	}
+	blob := w.Bytes()
+	for i, s := range seqs {
+		var got []isa.Inst
+		if _, err := c.Decompress(blob, offsets[i], func(in isa.Inst) error {
+			got = append(got, in)
+			return nil
+		}); err != nil {
+			t.Fatalf("Decompress region %d: %v", i, err)
+		}
+		if len(got) != len(s) {
+			t.Fatalf("region %d: %d instructions, want %d", i, len(got), len(s))
+		}
+		for k := range s {
+			if isa.Encode(got[k]) != isa.Encode(s[k]) {
+				t.Fatalf("region %d inst %d differs", i, k)
+			}
+		}
+	}
+	return c
+}
+
+func TestRoundTripRepetitive(t *testing.T) {
+	// Heavy repetition: LZ's best case.
+	var seq []isa.Inst
+	for i := 0; i < 30; i++ {
+		seq = append(seq,
+			isa.Mem(isa.OpLDW, isa.RegT0, isa.RegSP, 8),
+			isa.OpR(isa.OpIntA, isa.RegT0, isa.RegT0+1, isa.FnADD, isa.RegT0),
+			isa.Mem(isa.OpSTW, isa.RegT0, isa.RegSP, 8),
+		)
+	}
+	c := roundTrip(t, [][]isa.Inst{seq, seq[:10]})
+	bits, err := c.CompressedBits(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perInst := float64(bits) / float64(len(seq)); perInst > 6 {
+		t.Errorf("repetitive code coded at %.1f bits/inst; matches not working", perInst)
+	}
+}
+
+func TestRoundTripRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		insts := isa.RandInsts(seed, 80)
+		var seq []isa.Inst
+		for _, in := range insts {
+			if in.Format != isa.FormatIllegal {
+				seq = append(seq, in)
+			}
+		}
+		c := Train([][]isa.Inst{seq})
+		var w huffman.BitWriter
+		if err := c.Compress(&w, seq); err != nil {
+			return false
+		}
+		var got []isa.Inst
+		if _, err := c.Decompress(w.Bytes(), 0, func(in isa.Inst) error {
+			got = append(got, in)
+			return nil
+		}); err != nil {
+			return false
+		}
+		if len(got) != len(seq) {
+			return false
+		}
+		for i := range seq {
+			if isa.Encode(got[i]) != isa.Encode(seq[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyRegion(t *testing.T) {
+	roundTrip(t, [][]isa.Inst{{}})
+}
+
+// TestComparisonWithSplitStream contrasts the two coders on real benchmark
+// code: split streams exploit field-level redundancy that word-level LZ
+// cannot, so it should win on compiled code (the paper's reason for
+// choosing it), while LZ decodes fewer codewords.
+func TestComparisonWithSplitStream(t *testing.T) {
+	spec, _ := mediabench.SpecByName("adpcm")
+	obj, err := asm.Assemble(spec.Generate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := objfile.Link("main", obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := make([]isa.Inst, 0, 4000)
+	for _, w := range im.Text[:4000] {
+		in := isa.Decode(w)
+		if in.Format != isa.FormatIllegal {
+			seq = append(seq, in)
+		}
+	}
+	seqs := [][]isa.Inst{seq}
+
+	lz := Train(seqs)
+	lzBits, err := lz.CompressedBits(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := streamcomp.Train(seqs, streamcomp.Options{})
+	ssBits, err := ss.CompressedBits(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lzTotal := lzBits/8 + lz.TableBytes()
+	ssTotal := ssBits/8 + ss.TableBytes()
+	t.Logf("split-stream: %d bits + %d table bytes = %d B (γ=%.3f)",
+		ssBits, ss.TableBytes(), ssTotal, float64(ssTotal)/float64(4*len(seq)))
+	t.Logf("lz dictionary: %d bits + %d table bytes = %d B (γ=%.3f)",
+		lzBits, lz.TableBytes(), lzTotal, float64(lzTotal)/float64(4*len(seq)))
+	if ssTotal >= 4*len(seq) || lzTotal >= 4*len(seq) {
+		t.Error("a coder failed to compress at all")
+	}
+}
+
+func TestDecompressRejectsCorruption(t *testing.T) {
+	var seq []isa.Inst
+	for _, in := range isa.RandInsts(7, 200) {
+		if in.Format != isa.FormatIllegal {
+			seq = append(seq, in)
+		}
+	}
+	c := Train([][]isa.Inst{seq})
+	var w huffman.BitWriter
+	if err := c.Compress(&w, seq); err != nil {
+		t.Fatal(err)
+	}
+	blob := w.Bytes()
+	for i := 0; i < len(blob); i += 3 {
+		bad := append([]byte(nil), blob...)
+		bad[i] ^= 0x5A
+		n := 0
+		c.Decompress(bad, 0, func(isa.Inst) error {
+			n++
+			if n > 20*len(seq) {
+				t.Fatal("runaway decode on corrupted stream")
+			}
+			return nil
+		})
+	}
+}

@@ -1,0 +1,896 @@
+package mediabench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// gen accumulates the assembly text of one benchmark while tracking the
+// exact instruction count (la costs two words; everything else one).
+type gen struct {
+	spec Spec
+	r    *rand.Rand
+	text strings.Builder
+	data strings.Builder
+	n    int // instructions emitted so far
+	lbl  int
+
+	// No-op padding: one nop is emitted every nopEvery live instructions
+	// (mimicking scheduler padding), suppressed inside pattern-sensitive
+	// idioms (jump-table dispatch, duplicated runs).
+	nopEvery     int
+	sinceNop     int
+	nopsEmitted  int
+	nopBudget    int
+	suppressNops bool
+
+	idioms [][]string // duplicated instruction sequences (pre-rendered)
+}
+
+// Generate renders the benchmark's assembly source.
+func (s Spec) Generate() string {
+	g := &gen{spec: s, r: rand.New(rand.NewSource(s.Seed))}
+	g.plan()
+	g.program()
+	var out strings.Builder
+	out.WriteString("        .text\n")
+	out.WriteString(g.text.String())
+	out.WriteString("        .data\n")
+	out.WriteString(g.data.String())
+	return out.String()
+}
+
+// ins emits one instruction (cost 1) and interleaves nop padding. Padding
+// is never placed after an unconditional control transfer: the assembler's
+// CFG lifter would see it as code falling off the end of a function.
+func (g *gen) ins(s string) {
+	g.text.WriteString("        " + s + "\n")
+	g.n++
+	g.sinceNop++
+	terminator := strings.HasPrefix(s, "ret") || strings.HasPrefix(s, "br") ||
+		strings.HasPrefix(s, "jmp") || strings.HasPrefix(s, "sys  halt") ||
+		strings.HasPrefix(s, "sys  longjmp")
+	if !g.suppressNops && !terminator && g.nopsEmitted < g.nopBudget && g.sinceNop >= g.nopEvery {
+		g.text.WriteString("        nop\n")
+		g.n++
+		g.nopsEmitted++
+		g.sinceNop = 0
+	}
+}
+
+// la emits an address materialization (cost 2).
+func (g *gen) la(reg, sym string) {
+	g.text.WriteString(fmt.Sprintf("        la   %s, %s\n", reg, sym))
+	g.n += 2
+	g.sinceNop += 2
+}
+
+func (g *gen) label(l string)     { g.text.WriteString(l + ":\n") }
+func (g *gen) funcStart(n string) { g.text.WriteString("        .func " + n + "\n") }
+
+func (g *gen) newLabel(prefix string) string {
+	g.lbl++
+	return fmt.Sprintf("%s_%d", prefix, g.lbl)
+}
+
+// fill emits exactly n straight-line arithmetic instructions over t2–t4.
+// Every register is defined before it is read: compiled code never depends
+// on stale register contents, and a read of leftover state (for example a
+// code address left in a register by a jump-table dispatch) would make the
+// program's output depend on code layout, breaking the behavioural
+// equivalence the rewriting tools guarantee.
+func (g *gen) fill(n int) {
+	// Registers t0..t7; every read is preceded by a definition. The mix —
+	// varied registers, 8-bit literals, stack traffic, compares — keeps the
+	// operand-field entropy of the synthetic code comparable to compiled
+	// code, so the split-stream coder's γ lands near the paper's ≈0.66
+	// rather than compressing artificially regular filler.
+	tregs := []string{"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"}
+	defined := map[string]bool{}
+	// Loads may only touch slots this very sequence has stored: stale stack
+	// memory holds earlier frames' saved return addresses, and reading one
+	// would make results depend on code layout.
+	var written []int
+	pick := func() string { return tregs[g.r.Intn(len(tregs))] }
+	pickDef := func() string {
+		var have []string
+		for _, r := range tregs { // deterministic order
+			if defined[r] {
+				have = append(have, r)
+			}
+		}
+		if len(have) == 0 {
+			return ""
+		}
+		return have[g.r.Intn(len(have))]
+	}
+	for i := 0; i < n; i++ {
+		// Split long straight-line stretches into realistic basic blocks:
+		// compiled code rarely has blocks beyond a few dozen instructions,
+		// and the compressible-region partitioning operates on blocks that
+		// must fit the runtime buffer.
+		if i > 0 && i%24 == 0 && !g.suppressNops {
+			g.label(g.newLabel("fb"))
+		}
+		src := pickDef()
+		if src == "" || (len(defined) < 3 && g.r.Intn(3) == 0) {
+			dst := pick()
+			if !defined["t2"] {
+				// t2 is the conventional result register of every emitted
+				// fragment (mov t2, v0 / mov t2, a0 follow most fills), so
+				// it must be the first register a sequence defines.
+				dst = "t2"
+			}
+			g.ins(fmt.Sprintf("li   %s, %d", dst, g.r.Intn(30000)-15000))
+			defined[dst] = true
+			continue
+		}
+		dst := pick()
+		switch g.r.Intn(18) {
+		case 0, 1:
+			g.ins(fmt.Sprintf("add  %s, %d, %s", src, g.r.Intn(256), dst))
+		case 2:
+			g.ins(fmt.Sprintf("sub  %s, %d, %s", src, g.r.Intn(256), dst))
+		case 3:
+			g.ins(fmt.Sprintf("xor  %s, %d, %s", src, g.r.Intn(256), dst))
+		case 4:
+			g.ins(fmt.Sprintf("and  %s, %d, %s", src, g.r.Intn(256), dst))
+		case 5:
+			g.ins(fmt.Sprintf("sll  %s, %d, %s", src, 1+g.r.Intn(12), dst))
+		case 6:
+			g.ins(fmt.Sprintf("srl  %s, %d, %s", src, 1+g.r.Intn(12), dst))
+		case 7:
+			if s2 := pickDef(); s2 != "" {
+				g.ins(fmt.Sprintf("add  %s, %s, %s", src, s2, dst))
+			} else {
+				g.ins(fmt.Sprintf("add  %s, 1, %s", src, dst))
+			}
+		case 8:
+			if s2 := pickDef(); s2 != "" {
+				g.ins(fmt.Sprintf("cmplt %s, %s, %s", src, s2, dst))
+			} else {
+				g.ins(fmt.Sprintf("cmpeq %s, 7, %s", src, dst))
+			}
+		case 9:
+			g.ins(fmt.Sprintf("mul  %s, %d, %s", src, 1+g.r.Intn(100), dst))
+		case 10, 12:
+			// Scratch-slot stack traffic at varied offsets.
+			slot := 12 + 4*g.r.Intn(12)
+			g.ins(fmt.Sprintf("stw  %s, %d(sp)", src, slot))
+			written = append(written, slot)
+			continue
+		case 11, 13:
+			if len(written) == 0 {
+				g.ins(fmt.Sprintf("add  %s, %d, %s", src, g.r.Intn(256), dst))
+				defined[dst] = true
+				continue
+			}
+			g.ins(fmt.Sprintf("ldw  %s, %d(sp)", dst, written[g.r.Intn(len(written))]))
+		case 14:
+			g.ins(fmt.Sprintf("ornot %s, %d, %s", src, g.r.Intn(256), dst))
+		case 15:
+			g.ins(fmt.Sprintf("sra  %s, %d, %s", src, 1+g.r.Intn(9), dst))
+		case 16:
+			if s2 := pickDef(); s2 != "" {
+				g.ins(fmt.Sprintf("bic  %s, %s, %s", src, s2, dst))
+			} else {
+				g.ins(fmt.Sprintf("eqv  %s, %d, %s", src, g.r.Intn(256), dst))
+			}
+		case 17:
+			if s2 := pickDef(); s2 != "" {
+				g.ins(fmt.Sprintf("mulh %s, %s, %s", src, s2, dst))
+			} else {
+				g.ins(fmt.Sprintf("cmpule %s, %d, %s", src, g.r.Intn(256), dst))
+			}
+		}
+		defined[dst] = true
+	}
+}
+
+// plan precomputes idioms and padding budgets from the size targets.
+func (g *gen) plan() {
+	const idiomLen = 10
+	s := g.spec
+	// Procedural-abstraction savings: each idiom's copies collapse to calls
+	// plus one representative function of idiomLen+1 instructions.
+	savings := s.DupIdioms * (s.DupCopies*idiomLen - s.DupCopies - (idiomLen + 1))
+	if savings < 0 {
+		savings = 0
+	}
+	redundancy := s.TargetInput - s.TargetSqueeze - savings
+	if redundancy < 0 {
+		redundancy = 0
+	}
+	frac := s.NopFrac / (s.NopFrac + s.UnreachFrac)
+	g.nopBudget = int(float64(redundancy) * frac)
+	live := s.TargetSqueeze + savings
+	g.nopEvery = live / (g.nopBudget + 1)
+	if g.nopEvery < 2 {
+		g.nopEvery = 2
+	}
+
+	// Pre-render the duplicated idioms: pure t-register sequences that
+	// never touch RA, identical at every copy site.
+	ir := rand.New(rand.NewSource(s.Seed * 13))
+	for k := 0; k < s.DupIdioms; k++ {
+		// The first instruction seeds t5 so the sequence never reads an
+		// undefined register; the rest cycle through t5→t6→t7→t5.
+		seq := []string{fmt.Sprintf("li   t5, %d", 1+ir.Intn(200))}
+		ops := []string{"add", "xor", "sub", "and", "or"}
+		for i := 1; i < idiomLen; i++ {
+			switch i % 3 {
+			case 1:
+				seq = append(seq, fmt.Sprintf("%s  t5, %d, t6", ops[ir.Intn(len(ops))], 1+ir.Intn(20)))
+			case 2:
+				seq = append(seq, fmt.Sprintf("sll  t6, %d, t7", 1+ir.Intn(4)))
+			default:
+				seq = append(seq, fmt.Sprintf("%s  t6, t7, t5", ops[ir.Intn(len(ops))]))
+			}
+		}
+		g.idioms = append(g.idioms, seq)
+	}
+}
+
+// emitIdiom writes one copy of idiom k (nop padding suppressed so every
+// copy stays byte-identical).
+func (g *gen) emitIdiom(k int) {
+	g.suppressNops = true
+	for _, line := range g.idioms[k] {
+		g.ins(line)
+	}
+	g.suppressNops = false
+}
+
+// handlerNames precomputes the cold-handler call tree: handlers are
+// generated in index order, and handler i calls the next unclaimed pair,
+// giving a forest rooted at the dispatch roots with disjoint subtrees.
+type tree struct {
+	children [][]int
+	owner    []int  // root index whose subtree the handler belongs to
+	executed []bool // statically known: does the profiling input reach it?
+}
+
+// buildTree assigns each non-root handler to the next parent in index
+// order, and — because every dispatch root's trigger byte(s) are fixed —
+// computes statically whether the profiling input can reach each handler:
+// a child call fires only when bit (childIndex+1) of the argument byte is
+// set. This lets the generator aim calls from genuinely never-executed
+// code at the cold shared helpers.
+func buildTree(n, semiRoots, neverRoots int) *tree {
+	roots := semiRoots + neverRoots
+	t := &tree{
+		children: make([][]int, n),
+		owner:    make([]int, n),
+		executed: make([]bool, n),
+	}
+	// Argument bytes that reach each semi root: semi triggers 0..15 map to
+	// root byte&(semiRoots-1).
+	argBytes := make([][]int, roots)
+	for b := 0; b < numSemiRare; b++ {
+		r := b & (semiRoots - 1)
+		argBytes[r] = append(argBytes[r], b)
+	}
+	for i := 0; i < roots && i < n; i++ {
+		t.owner[i] = i
+		t.executed[i] = i < semiRoots // never roots see no profiled trigger
+	}
+	next := roots
+	for i := 0; i < n && next < n; i++ {
+		for c := 0; c < 2 && next < n; c++ {
+			t.children[i] = append(t.children[i], next)
+			t.owner[next] = t.owner[i]
+			if t.executed[i] {
+				for _, b := range argBytes[t.owner[i]] {
+					if b>>(c+1)&1 == 1 {
+						t.executed[next] = true
+					}
+				}
+			}
+			next++
+		}
+	}
+	return t
+}
+
+func (g *gen) program() {
+	s := g.spec
+
+	nSemiRoots := numSemiRare
+	nNeverRoots := 8
+	if s.ColdFuncs < nSemiRoots+nNeverRoots+4 {
+		nSemiRoots = s.ColdFuncs / 3
+		nNeverRoots = s.ColdFuncs / 4
+	}
+	nLeaf := 4 + s.ColdFuncs/10
+	handlerTree := buildTree(s.ColdFuncs, nSemiRoots, nNeverRoots)
+
+	// ---- main ----
+	g.emitMain(nSemiRoots, nNeverRoots)
+	// ---- hot kernels ----
+	for k := 0; k < s.HotFuncs; k++ {
+		g.emitHotKernel(k)
+	}
+	// ---- trigger dispatch ----
+	g.emitDispatch(nSemiRoots, nNeverRoots)
+	// ---- periodic handlers ----
+	for k := 0; k < s.PeriodicFuncs; k++ {
+		g.emitPeriodic(k, nLeaf)
+	}
+	// ---- init / setup / finalize ----
+	g.emitInit()
+	g.emitFinalize()
+	// ---- leaf utilities ----
+	for k := 0; k < nLeaf; k++ {
+		g.emitLeaf(k)
+	}
+	if s.Recursive {
+		g.emitRecursive()
+	}
+	if s.UsesSetjmp {
+		g.emitErrRaise()
+	}
+
+	// ---- shared cold utilities: called only from cold handlers, so they
+	// are compressed themselves and every call to them needs a restore
+	// stub — the §2.2 cost the compile-time-stub ablation measures ----
+	// Cold shared helpers: referenced only from code the profiling input
+	// never reaches, so they are compressed and every call to them needs
+	// restore-stub machinery (they are never buffer-safe).
+	for k := 0; k < 4; k++ {
+		name := fmt.Sprintf("ncutil%d", k)
+		g.funcStart(name)
+		g.ins("lda  sp, -64(sp)")
+		g.ins("stw  ra, 0(sp)")
+		g.fill(16 + g.r.Intn(14))
+		if k < 3 {
+			g.ins("mov  t2, a0")
+			g.ins(fmt.Sprintf("bsr  ra, ncutil%d", k+1))
+			g.ins("add  v0, 1, t2")
+		}
+		g.ins("mov  t2, v0")
+		g.ins("ldw  ra, 0(sp)")
+		g.ins("lda  sp, 64(sp)")
+		g.ins("ret")
+	}
+
+	nShared := 8
+	for k := 0; k < nShared; k++ {
+		name := fmt.Sprintf("cutil%d", k)
+		g.funcStart(name)
+		g.ins("lda  sp, -64(sp)")
+		g.ins("stw  ra, 0(sp)")
+		g.fill(14 + g.r.Intn(12))
+		if k+1 < nShared && k%2 == 0 {
+			g.ins("mov  t2, a0")
+			g.ins(fmt.Sprintf("bsr  ra, cutil%d", k+1))
+			g.ins("add  v0, 1, t2")
+		}
+		g.ins("mov  t2, v0")
+		g.ins("ldw  ra, 0(sp)")
+		g.ins("lda  sp, 64(sp)")
+		g.ins("ret")
+	}
+
+	// ---- cold handlers: budget what remains of the live target ----
+	const idiomLen = 10
+	savings := s.DupIdioms * (s.DupCopies*idiomLen - s.DupCopies - (idiomLen + 1))
+	live := s.TargetSqueeze + savings
+	remaining := live - (g.n - g.nopsEmitted)
+	perHandler := remaining / s.ColdFuncs
+	if perHandler < 24 {
+		perHandler = 24
+	}
+	dupSites := g.dupPlacement(s.ColdFuncs)
+	for i := 0; i < s.ColdFuncs; i++ {
+		budget := perHandler * (80 + g.r.Intn(40)) / 100
+		if i == s.ColdFuncs-1 {
+			if left := live - (g.n - g.nopsEmitted) - 30; left > budget {
+				budget = left
+			}
+		}
+		owner := handlerTree.owner[i]
+		g.emitHandler(i, budget, handlerTree.children[i], nLeaf, dupSites[i], owner, !handlerTree.executed[i])
+	}
+
+	// ---- unreachable library code (removed by squeeze) ----
+	unreach := s.TargetInput - (g.n) - (g.nopBudget - g.nopsEmitted)
+	g.suppressNops = true
+	di := 0
+	for unreach > 12 {
+		sz := 40 + g.r.Intn(60)
+		if sz > unreach-4 {
+			sz = unreach - 4
+		}
+		g.funcStart(fmt.Sprintf("dead%d", di))
+		g.ins("lda  sp, -64(sp)")
+		g.ins("stw  ra, 0(sp)")
+		g.fill(sz)
+		g.ins("ldw  ra, 0(sp)")
+		g.ins("lda  sp, 64(sp)")
+		g.ins("ret")
+		unreach -= sz + 6
+		di++
+	}
+	g.suppressNops = false
+
+	// ---- data section ----
+	g.emitData(nSemiRoots, nNeverRoots)
+}
+
+// emitMain writes the program skeleton: init, the hot byte loop with
+// trigger and periodic checks, and finalization.
+func (g *gen) emitMain(nSemiRoots, nNeverRoots int) {
+	s := g.spec
+	g.funcStart("main")
+	g.ins("lda  sp, -64(sp)")
+	g.ins("stw  ra, 0(sp)")
+	g.ins("bsr  ra, init")
+	if s.UsesSetjmp {
+		g.ins("sys  setjmp")
+		g.ins("beq  v0, mainloop")
+		// longjmp recovery: emit a marker byte, keep processing.
+		g.ins("li   a0, 33")
+		g.ins("sys  putc")
+	}
+	g.label("mainloop")
+	g.ins("sys  getc")
+	g.ins("blt  v0, maineof")
+	g.ins("stw  v0, 4(sp)")
+	// Hot kernel chain.
+	g.ins("mov  v0, a0")
+	for k := 0; k < s.HotFuncs; k++ {
+		g.ins(fmt.Sprintf("bsr  ra, hot%d", k))
+		if k != s.HotFuncs-1 {
+			g.ins("mov  v0, a0")
+		}
+	}
+	g.ins("stw  v0, 8(sp)")
+	// Trigger check: bytes below 32 enter the cold dispatch.
+	g.ins("ldw  t0, 4(sp)")
+	g.ins("cmpult t0, 32, t1")
+	g.ins("beq  t1, notrig")
+	g.ins("ldw  a0, 4(sp)")
+	g.ins("bsr  ra, dispatch")
+	g.ins("ldw  t2, 8(sp)")
+	g.ins("add  v0, t2, t2")
+	g.ins("stw  t2, 8(sp)")
+	g.label("notrig")
+	// Byte counter and periodic handlers at periods 2048 << k.
+	g.la("t0", "counter")
+	g.ins("ldw  t1, 0(t0)")
+	g.ins("add  t1, 1, t1")
+	g.ins("stw  t1, 0(t0)")
+	for k := 0; k < s.PeriodicFuncs; k++ {
+		skip := fmt.Sprintf("noper%d", k)
+		// Periods spread the block-frequency spectrum across decades
+		// (16, 64, 256, ... bytes), giving the θ sweep of Figures 4 and 6
+		// a gradual slope rather than a hot/cold cliff.
+		period := 16 << (2 * k)
+		g.la("t0", "counter")
+		g.ins("ldw  t1, 0(t0)")
+		// t2 = counter & (period-1), via a shift pair (the mask exceeds
+		// the 8-bit literal field).
+		sh := 0
+		for p := period; p > 1; p >>= 1 {
+			sh++
+		}
+		g.ins(fmt.Sprintf("sll  t1, %d, t2", 32-sh))
+		g.ins(fmt.Sprintf("srl  t2, %d, t2", 32-sh))
+		g.ins("bne  t2, " + skip)
+		g.ins(fmt.Sprintf("bsr  ra, periodic%d", k))
+		g.label(skip)
+	}
+	// Output the transformed byte.
+	g.ins("ldw  a0, 8(sp)")
+	g.ins("and  a0, 255, a0")
+	g.ins("sys  putc")
+	g.ins("br   mainloop")
+	g.label("maineof")
+	g.ins("bsr  ra, finalize")
+	g.ins("ldw  ra, 0(sp)")
+	g.ins("lda  sp, 64(sp)")
+	g.ins("clr  a0")
+	g.ins("sys  halt")
+}
+
+// emitHotKernel writes one leaf kernel with an inner loop; these dominate
+// the dynamic instruction count.
+func (g *gen) emitHotKernel(k int) {
+	s := g.spec
+	name := fmt.Sprintf("hot%d", k)
+	g.funcStart(name)
+	g.ins("mov  a0, t0")
+	g.ins(fmt.Sprintf("li   t1, %d", s.HotLoopIters))
+	g.ins(fmt.Sprintf("li   t2, %d", 17+k*13))
+	loop := g.newLabel("hk")
+	g.label(loop)
+	g.ins("add  t0, t2, t2")
+	g.ins(fmt.Sprintf("xor  t2, %d, t2", 5+k))
+	g.ins(fmt.Sprintf("sll  t2, %d, t3", 1+k%3))
+	g.ins("srl  t3, 2, t3")
+	g.ins("add  t2, t3, t2")
+	g.ins("sll  t2, 19, t2")
+	g.ins("srl  t2, 19, t2")
+	g.ins("sub  t1, 1, t1")
+	g.ins("bgt  t1, " + loop)
+	g.la("t3", "csum")
+	g.ins("ldw  t4, 0(t3)")
+	g.ins("add  t2, t4, t4")
+	g.ins("stw  t4, 0(t3)")
+	g.ins("mov  t2, v0")
+	g.ins("ret")
+}
+
+// emitDispatch routes a trigger byte to its handler root.
+func (g *gen) emitDispatch(nSemiRoots, nNeverRoots int) {
+	g.funcStart("dispatch")
+	g.ins("lda  sp, -32(sp)")
+	g.ins("stw  ra, 0(sp)")
+	g.ins("stw  a0, 4(sp)")
+	g.ins("cmpult a0, 16, t1")
+	g.ins("beq  t1, dispnever")
+	// Semi-rare: route through a jump table over the low bits.
+	g.suppressNops = true
+	g.ins(fmt.Sprintf("and  a0, %d, t0", nSemiRoots-1))
+	g.ins(fmt.Sprintf("cmpult t0, %d, t1", nSemiRoots))
+	g.ins("beq  t1, dispdone")
+	g.ins("sll  t0, 2, t1")
+	g.la("t2", "disptab")
+	g.ins("add  t2, t1, t2")
+	g.ins("ldw  t3, 0(t2)")
+	g.ins("jmp  (t3)")
+	g.suppressNops = false
+	for i := 0; i < nSemiRoots; i++ {
+		g.label(fmt.Sprintf("dispc%d", i))
+		g.ins("ldw  a0, 4(sp)")
+		g.ins(fmt.Sprintf("bsr  ra, h%d", i))
+		g.ins("br   dispdone")
+	}
+	g.label("dispnever")
+	// Never-profiled: chain of compares.
+	for i := 0; i < nNeverRoots; i++ {
+		next := fmt.Sprintf("dispn%d", i+1)
+		g.ins("ldw  t0, 4(sp)")
+		g.ins(fmt.Sprintf("cmpeq t0, %d, t1", neverProfBase+i))
+		g.ins("beq  t1, " + next)
+		g.ins("ldw  a0, 4(sp)")
+		g.ins(fmt.Sprintf("bsr  ra, h%d", nSemiRoots+i))
+		g.ins("br   dispdone")
+		g.label(next)
+	}
+	g.ins("ldw  a0, 4(sp)")
+	g.ins(fmt.Sprintf("bsr  ra, h%d", nSemiRoots))
+	g.label("dispdone")
+	g.ins("ldw  ra, 0(sp)")
+	g.ins("lda  sp, 32(sp)")
+	g.ins("ret")
+}
+
+// emitPeriodic writes one rarely-but-regularly executed handler.
+func (g *gen) emitPeriodic(k, nLeaf int) {
+	name := fmt.Sprintf("periodic%d", k)
+	g.funcStart(name)
+	g.ins("lda  sp, -64(sp)")
+	g.ins("stw  ra, 0(sp)")
+	g.ins(fmt.Sprintf("li   t2, %d", 7+k))
+	g.fill(20 + g.r.Intn(25))
+	g.ins(fmt.Sprintf("li   a0, %d", k+3))
+	g.ins(fmt.Sprintf("bsr  ra, leaf%d", k%nLeaf))
+	g.la("t3", "csum")
+	g.ins("ldw  t4, 0(t3)")
+	g.ins("add  v0, t4, t4")
+	g.ins("stw  t4, 0(t3)")
+	g.ins("ldw  ra, 0(sp)")
+	g.ins("lda  sp, 64(sp)")
+	g.ins("ret")
+}
+
+// emitInit writes the one-shot initialization (frequency 1 in any profile).
+func (g *gen) emitInit() {
+	g.funcStart("init")
+	g.ins("lda  sp, -64(sp)")
+	g.ins("stw  ra, 0(sp)")
+	g.ins("li   t2, 1")
+	g.fill(30 + g.r.Intn(20))
+	for k := 0; k < 3; k++ {
+		g.ins(fmt.Sprintf("bsr  ra, setup%d", k))
+	}
+	g.ins("ldw  ra, 0(sp)")
+	g.ins("lda  sp, 64(sp)")
+	g.ins("ret")
+	for k := 0; k < 3; k++ {
+		g.funcStart(fmt.Sprintf("setup%d", k))
+		g.ins("lda  sp, -64(sp)")
+		g.ins(fmt.Sprintf("li   t2, %d", k*11+1))
+		g.fill(25 + g.r.Intn(20))
+		g.la("t0", fmt.Sprintf("tbl%d", k%4))
+		g.ins("stw  t2, 0(t0)")
+		g.ins("lda  sp, 64(sp)")
+		g.ins("ret")
+	}
+}
+
+// emitFinalize prints the checksum as eight hex digits.
+func (g *gen) emitFinalize() {
+	g.funcStart("finalize")
+	g.ins("lda  sp, -16(sp)")
+	g.ins("stw  ra, 0(sp)")
+	g.la("t0", "csum")
+	g.ins("ldw  t1, 0(t0)")
+	g.ins("li   t2, 8")
+	g.label("fnz_loop")
+	g.ins("srl  t1, 28, t3")
+	g.ins("and  t3, 15, t3")
+	g.ins("cmpult t3, 10, t4")
+	g.ins("beq  t4, fnz_af")
+	g.ins("add  t3, 48, a0")
+	g.ins("br   fnz_put")
+	g.label("fnz_af")
+	g.ins("add  t3, 87, a0")
+	g.label("fnz_put")
+	g.ins("sys  putc")
+	g.ins("sll  t1, 4, t1")
+	g.ins("sub  t2, 1, t2")
+	g.ins("bgt  t2, fnz_loop")
+	g.ins("ldw  ra, 0(sp)")
+	g.ins("lda  sp, 16(sp)")
+	g.ins("ret")
+}
+
+// emitLeaf writes a small pure utility (a buffer-safe candidate).
+func (g *gen) emitLeaf(k int) {
+	name := fmt.Sprintf("leaf%d", k)
+	g.funcStart(name)
+	g.ins("lda  sp, -64(sp)")
+	g.ins("mov  a0, t2")
+	g.fill(4 + g.r.Intn(8))
+	g.ins("mov  t2, v0")
+	g.ins("lda  sp, 64(sp)")
+	g.ins("ret")
+}
+
+// emitRecursive writes the bounded-recursion handler whose call site
+// exercises restore-stub usage counts.
+func (g *gen) emitRecursive() {
+	g.funcStart("coldrec")
+	g.ins("lda  sp, -16(sp)")
+	g.ins("stw  ra, 0(sp)")
+	g.ins("stw  a0, 4(sp)")
+	g.ins("ble  a0, coldrec_base")
+	g.ins("sub  a0, 1, a0")
+	g.ins("bsr  ra, coldrec")
+	g.ins("ldw  t0, 4(sp)")
+	g.ins("add  v0, t0, v0")
+	g.ins("br   coldrec_out")
+	g.label("coldrec_base")
+	g.ins("li   v0, 1")
+	g.label("coldrec_out")
+	g.ins("ldw  ra, 0(sp)")
+	g.ins("lda  sp, 16(sp)")
+	g.ins("ret")
+}
+
+// emitErrRaise writes the longjmp path used by the pgp-style benchmark.
+func (g *gen) emitErrRaise() {
+	g.funcStart("errraise")
+	g.ins("lda  sp, -64(sp)")
+	g.fill(6)
+	g.ins("sys  longjmp")
+	g.ins("ret")
+}
+
+// dupPlacement assigns idiom copies to handler indices.
+func (g *gen) dupPlacement(nHandlers int) [][]int {
+	out := make([][]int, nHandlers)
+	for k := 0; k < g.spec.DupIdioms; k++ {
+		for c := 0; c < g.spec.DupCopies; c++ {
+			h := g.r.Intn(nHandlers)
+			out[h] = append(out[h], k)
+		}
+	}
+	return out
+}
+
+// emitHandler writes one cold handler of roughly the requested budget.
+// owner is the dispatch root whose subtree this handler belongs to (its
+// argument byte is therefore known statically), and unprofiled marks
+// handlers the profiling input cannot reach.
+func (g *gen) emitHandler(idx, budget int, children []int, nLeaf int, dupIdioms []int, owner int, unprofiled bool) {
+	s := g.spec
+	name := fmt.Sprintf("h%d", idx)
+	g.funcStart(name)
+	start := g.n
+	g.ins("lda  sp, -64(sp)")
+	g.ins("stw  ra, 0(sp)")
+	g.ins("stw  a0, 4(sp)")
+	g.ins("stw  zero, 8(sp)")
+
+	if s.UsesSetjmp && idx == 0 {
+		// Trigger byte 0 raises the longjmp error path.
+		g.ins("ldw  t0, 4(sp)")
+		g.ins("bne  t0, noerr0")
+		g.ins("bsr  ra, errraise")
+		g.label("noerr0")
+	}
+
+	// Conditional calls to subtree children (bits of the argument choose
+	// the path, so different trigger bytes decompress different regions).
+	for ci, child := range children {
+		skip := g.newLabel("hs")
+		g.ins("ldw  t0, 4(sp)")
+		g.ins(fmt.Sprintf("srl  t0, %d, t0", ci+1))
+		g.ins("and  t0, 1, t0")
+		g.ins("beq  t0, " + skip)
+		g.ins("ldw  a0, 4(sp)")
+		g.ins(fmt.Sprintf("bsr  ra, h%d", child))
+		g.ins("ldw  t1, 8(sp)")
+		g.ins("add  v0, t1, t1")
+		g.ins("stw  t1, 8(sp)")
+		g.label(skip)
+	}
+	// Call mix: real cold code calls helpers roughly every couple dozen
+	// instructions, which is what makes restore stubs a significant cost
+	// in the paper (§2.2: compile-time stubs would be 13–27% of the
+	// never-compressed code). Most callees are the shared cold utilities
+	// (not buffer-safe: their return crosses the runtime buffer); a
+	// LeafFrac-controlled minority are pure leaves (§6.1's buffer-safe
+	// calls that need no stub at all).
+	nCalls := 1 + budget/30
+	for c := 0; c < nCalls; c++ {
+		g.ins("ldw  a0, 4(sp)")
+		switch {
+		case g.r.Float64() < s.LeafFrac:
+			// A pure leaf: the buffer-safe minority of cold calls (§6.1).
+			g.ins(fmt.Sprintf("bsr  ra, leaf%d", g.r.Intn(nLeaf)))
+		case unprofiled:
+			// Never-profiled code calling never-profiled helpers: cold
+			// call sites with cold callees, the §2.2 majority.
+			g.ins(fmt.Sprintf("bsr  ra, ncutil%d", g.r.Intn(4)))
+		default:
+			g.ins(fmt.Sprintf("bsr  ra, cutil%d", g.r.Intn(8)))
+		}
+		g.ins("ldw  t1, 8(sp)")
+		g.ins("add  v0, t1, t1")
+		g.ins("stw  t1, 8(sp)")
+	}
+	if s.Recursive && idx%17 == 3 {
+		g.ins("li   a0, 5")
+		g.ins("bsr  ra, coldrec")
+		g.ins("ldw  t1, 8(sp)")
+		g.ins("add  v0, t1, t1")
+		g.ins("stw  t1, 8(sp)")
+	}
+
+	// Jump-table dispatch inside selected handlers.
+	if idx < s.JumpTables {
+		g.emitSwitch(idx)
+	}
+
+	// Cold internal loop (mpeg2-style region-split pathology material).
+	if s.ColdLoop && idx%5 == 2 {
+		bodyLen := 60 + g.r.Intn(40)
+		loop := g.newLabel("hl")
+		g.ins("li   t0, 12")
+		g.ins("stw  t0, 60(sp)") // loop counter lives outside the t-regs
+		g.label(loop)
+		g.fill(bodyLen)
+		g.ins("ldw  t0, 60(sp)")
+		g.ins("sub  t0, 1, t0")
+		g.ins("stw  t0, 60(sp)")
+		g.ins("bgt  t0, " + loop)
+	}
+
+	// Filler to approach the budget, then idiom copies and epilogue.
+	used := g.n - start
+	tail := 4 // epilogue
+	for _, k := range dupIdioms {
+		_ = k
+		tail += 10
+	}
+	if rem := budget - used - tail - 4; rem > 0 {
+		// Split the filler with a diamond for block structure. The
+		// handler's argument is its root's trigger byte, so one arm is
+		// never executed during profiling: that arm carries calls to the
+		// cold shared helpers — the §2.2 call sites in never-executed code.
+		if rem > 26 {
+			elseL, join := g.newLabel("he"), g.newLabel("hj")
+			coldArmCall := func() {
+				g.ins("ldw  a0, 4(sp)")
+				g.ins(fmt.Sprintf("bsr  ra, ncutil%d", g.r.Intn(4)))
+				g.ins("mov  v0, t2")
+			}
+			thenCold := owner>>1&1 == 0 // arm taken when bit 1 is set
+			g.ins("ldw  t0, 4(sp)")
+			g.ins("and  t0, 2, t1")
+			g.ins("beq  t1, " + elseL)
+			g.ins("li   t2, 5")
+			if thenCold {
+				coldArmCall()
+			}
+			g.fill((rem - 13) / 2)
+			g.ins("br   " + join)
+			g.label(elseL)
+			g.ins("li   t2, 9")
+			if !thenCold {
+				coldArmCall()
+			}
+			g.fill(rem - 13 - (rem-13)/2)
+			g.label(join)
+		} else {
+			g.ins("li   t2, 5")
+			g.fill(rem - 1)
+		}
+		// Fold the diamond result into the accumulator.
+		g.ins("ldw  t3, 8(sp)")
+		g.ins("add  t2, t3, t3")
+		g.ins("stw  t3, 8(sp)")
+	}
+	for _, k := range dupIdioms {
+		g.emitIdiom(k)
+	}
+	g.ins("ldw  v0, 8(sp)")
+	g.ins("ldw  ra, 0(sp)")
+	g.ins("lda  sp, 64(sp)")
+	g.ins("ret")
+}
+
+// emitSwitch writes a guarded jump-table dispatch over four cases.
+func (g *gen) emitSwitch(idx int) {
+	tbl := fmt.Sprintf("jtab%d", idx)
+	dflt := g.newLabel("swd")
+	join := g.newLabel("swj")
+	g.ins("ldw  t0, 4(sp)")
+	g.ins("srl  t0, 2, t0")
+	g.ins("and  t0, 3, t0")
+	g.suppressNops = true
+	g.ins("cmpult t0, 4, t1")
+	g.ins("beq  t1, " + dflt)
+	g.ins("sll  t0, 2, t1")
+	g.la("t2", tbl)
+	g.ins("add  t2, t1, t2")
+	g.ins("ldw  t3, 0(t2)")
+	g.ins("jmp  (t3)")
+	g.suppressNops = false
+	for c := 0; c < 4; c++ {
+		g.label(fmt.Sprintf("%s_c%d", tbl, c))
+		g.ins(fmt.Sprintf("li   t2, %d", c*7+idx))
+		g.fill(2 + g.r.Intn(4))
+		g.ins("br   " + join)
+	}
+	g.label(dflt)
+	g.ins("clr  t2")
+	g.label(join)
+	g.ins("ldw  t3, 8(sp)")
+	g.ins("add  t2, t3, t3")
+	g.ins("stw  t3, 8(sp)")
+}
+
+// emitData writes the data section: globals, dispatch tables, jump tables.
+func (g *gen) emitData(nSemiRoots, nNeverRoots int) {
+	d := &g.data
+	d.WriteString("csum:    .word 0\n")
+	d.WriteString("counter: .word 0\n")
+	for k := 0; k < 4; k++ {
+		fmt.Fprintf(d, "tbl%d:    .word ", k)
+		for i := 0; i < 16; i++ {
+			if i > 0 {
+				d.WriteString(", ")
+			}
+			fmt.Fprintf(d, "%d", (k*31+i*7)%251)
+		}
+		d.WriteString("\n")
+	}
+	d.WriteString("disptab: .word ")
+	for i := 0; i < nSemiRoots; i++ {
+		if i > 0 {
+			d.WriteString(", ")
+		}
+		fmt.Fprintf(d, "dispc%d", i)
+	}
+	d.WriteString("\n")
+	for idx := 0; idx < g.spec.JumpTables; idx++ {
+		fmt.Fprintf(d, "jtab%d:   .word jtab%d_c0, jtab%d_c1, jtab%d_c2, jtab%d_c3\n",
+			idx, idx, idx, idx, idx)
+	}
+}

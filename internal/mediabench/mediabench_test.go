@@ -1,0 +1,344 @@
+package mediabench
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/objfile"
+	"repro/internal/profile"
+	"repro/internal/squeeze"
+	"repro/internal/vm"
+)
+
+// shrunk returns the spec with unit-test-sized inputs (the full inputs are
+// for the experiment harness).
+func shrunk(s Spec) Spec {
+	s.ProfBytes = 20000
+	s.TimeBytes = 15000
+	s.TriggerRate = 0.01
+	return s
+}
+
+func assembleSpec(t *testing.T, s Spec) (*objfile.Object, *objfile.Image) {
+	t.Helper()
+	obj, err := asm.Assemble(s.Generate())
+	if err != nil {
+		t.Fatalf("%s: assemble: %v", s.Name, err)
+	}
+	im, err := objfile.Link("main", obj)
+	if err != nil {
+		t.Fatalf("%s: link: %v", s.Name, err)
+	}
+	return obj, im
+}
+
+func TestAllBenchmarksAssembleAndRun(t *testing.T) {
+	for _, s := range Specs() {
+		s := shrunk(s)
+		t.Run(s.Name, func(t *testing.T) {
+			_, im := assembleSpec(t, s)
+			m := vm.New(im, s.ProfilingInput())
+			if err := m.Run(); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if m.Status != 0 {
+				t.Fatalf("exit status %d", m.Status)
+			}
+			if len(m.Output) < s.ProfBytes {
+				t.Fatalf("output %d bytes for %d input bytes", len(m.Output), s.ProfBytes)
+			}
+		})
+	}
+}
+
+func TestBenchmarksDeterministic(t *testing.T) {
+	s, _ := SpecByName("adpcm")
+	s = shrunk(s)
+	_, im := assembleSpec(t, s)
+	var first string
+	for i := 0; i < 2; i++ {
+		m := vm.New(im, s.TimingInput())
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = string(m.Output)
+		} else if string(m.Output) != first {
+			t.Fatal("outputs differ between identical runs")
+		}
+	}
+	if s.Generate() != s.Generate() {
+		t.Fatal("generator is not deterministic")
+	}
+}
+
+func TestSizeTargetsMatchTable1(t *testing.T) {
+	for _, s := range Specs() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			obj, _ := assembleSpec(t, s)
+			input := len(obj.Text)
+			if ratio := float64(input) / float64(s.TargetInput); ratio < 0.95 || ratio > 1.05 {
+				t.Errorf("input size %d vs Table 1 target %d (%.2f)", input, s.TargetInput, ratio)
+			}
+			p, err := cfg.Build(obj, "main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := squeeze.Run(p); err != nil {
+				t.Fatal(err)
+			}
+			obj2, err := cfg.Lower(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sq := len(obj2.Text)
+			if ratio := float64(sq) / float64(s.TargetSqueeze); ratio < 0.93 || ratio > 1.07 {
+				t.Errorf("squeezed size %d vs Table 1 target %d (%.2f)", sq, s.TargetSqueeze, ratio)
+			}
+			t.Logf("%-9s input %6d (target %6d)  squeeze %6d (target %6d)",
+				s.Name, input, s.TargetInput, sq, s.TargetSqueeze)
+		})
+	}
+}
+
+func TestSqueezePreservesBenchmarkBehaviour(t *testing.T) {
+	for _, name := range []string{"adpcm", "gsm", "pgp"} {
+		s, _ := SpecByName(name)
+		s = shrunk(s)
+		t.Run(name, func(t *testing.T) {
+			obj, im := assembleSpec(t, s)
+			input := s.TimingInput()
+			m1 := vm.New(im, input)
+			if err := m1.Run(); err != nil {
+				t.Fatal(err)
+			}
+			p, err := cfg.Build(obj, "main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := squeeze.Run(p); err != nil {
+				t.Fatal(err)
+			}
+			im2, err := cfg.LowerAndLink(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2 := vm.New(im2, input)
+			if err := m2.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if string(m1.Output) != string(m2.Output) || m1.Status != m2.Status {
+				t.Fatal("squeeze changed benchmark behaviour")
+			}
+		})
+	}
+}
+
+// squeezeAndProfile squeezes the benchmark and profiles the squeezed image.
+func squeezeAndProfile(t *testing.T, s Spec) (*objfile.Object, *objfile.Image, profile.Counts) {
+	t.Helper()
+	obj, _ := assembleSpec(t, s)
+	p, err := cfg.Build(obj, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := squeeze.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	sqObj, err := cfg.Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := objfile.Link("main", sqObj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(im, s.ProfilingInput())
+	m.EnableProfile()
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return sqObj, im, m.Profile
+}
+
+func TestSquashBenchmarksEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline on several benchmarks")
+	}
+	for _, name := range []string{"adpcm", "g721_enc", "mpeg2dec", "pgp"} {
+		s, _ := SpecByName(name)
+		s = shrunk(s)
+		t.Run(name, func(t *testing.T) {
+			sqObj, im, counts := squeezeAndProfile(t, s)
+			timing := s.TimingInput()
+			base := vm.New(im, timing)
+			base.StackCheck = true
+			if err := base.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for _, theta := range []float64{0, 0.0001, 0.01} {
+				conf := core.DefaultConfig()
+				conf.Theta = theta
+				out, err := core.Squash(sqObj, counts, conf)
+				if err != nil {
+					t.Fatalf("theta=%v: %v", theta, err)
+				}
+				rt, err := core.NewRuntime(out.Meta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				m := vm.New(out.Image, timing)
+				m.StackCheck = true
+				rt.Install(m)
+				if err := m.Run(); err != nil {
+					t.Fatalf("theta=%v: squashed run: %v", theta, err)
+				}
+				if string(m.Output) != string(base.Output) || m.Status != base.Status {
+					t.Fatalf("theta=%v: behaviour differs", theta)
+				}
+				for i := range base.SPTrace {
+					if base.SPTrace[i] != m.SPTrace[i] {
+						t.Fatalf("theta=%v: SP diverges at %d", theta, i)
+					}
+				}
+				red := out.Stats.Reduction()
+				slow := float64(m.Cycles) / float64(base.Cycles)
+				t.Logf("θ=%-7v reduction %5.1f%%  time ×%.3f  regions %d  decomp %d",
+					theta, 100*red, slow, out.Stats.RegionCount, rt.Stats.Decompressions)
+			}
+		})
+	}
+}
+
+func TestProfileShapeColdFractions(t *testing.T) {
+	// Figure 4 sanity on one benchmark: cold fraction grows with θ and is
+	// substantial even at θ=0.
+	s, _ := SpecByName("gsm")
+	s = shrunk(s)
+	sqObj, _, counts := squeezeAndProfile(t, s)
+	p, err := cfg.Build(sqObj, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AttachProfile(counts); err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for _, theta := range []float64{0, 0.0001, 0.01, 1} {
+		cs := profile.IdentifyCold(p, theta)
+		frac := cs.ColdFraction()
+		if frac < prev {
+			t.Errorf("cold fraction fell from %.3f to %.3f at θ=%v", prev, frac, theta)
+		}
+		prev = frac
+		t.Logf("θ=%-7v cold %.1f%%", theta, 100*frac)
+	}
+	cs := profile.IdentifyCold(p, 0)
+	if f := cs.ColdFraction(); f < 0.5 || f > 0.95 {
+		t.Errorf("cold fraction at θ=0 is %.2f; expected the bulk of the code", f)
+	}
+	if f := profile.IdentifyCold(p, 1).ColdFraction(); f != 1 {
+		t.Errorf("cold fraction at θ=1 is %.2f", f)
+	}
+}
+
+func TestInputsHaveDocumentedShape(t *testing.T) {
+	s, _ := SpecByName("epic")
+	prof := s.ProfilingInput()
+	seen := map[byte]int{}
+	for _, b := range prof {
+		if b < 32 {
+			seen[b]++
+		}
+	}
+	for k := 0; k < numSemiRare; k++ {
+		want := semiRareProfileCount(k)
+		got := seen[byte(k)]
+		// Placement wraps at the end of the stream and may overwrite an
+		// earlier trigger byte, so allow a small deficit.
+		if got == 0 || got > want {
+			t.Errorf("semi-rare trigger %d appears %d times in profile, want ≈%d", k, got, want)
+		}
+	}
+	for k := byte(neverProfBase); k < 32; k++ {
+		if seen[k] != 0 {
+			t.Errorf("never-profiled trigger %d appears in profiling input", k)
+		}
+	}
+	timing := s.TimingInput()
+	var semi, never int
+	for _, b := range timing {
+		switch {
+		case b < numSemiRare:
+			semi++
+		case b < 32:
+			never++
+		}
+	}
+	if semi == 0 || never == 0 {
+		t.Fatalf("timing input lacks triggers: semi=%d never=%d", semi, never)
+	}
+	if never > semi {
+		t.Errorf("never-profiled triggers (%d) should be much rarer than semi-rare (%d)", never, semi)
+	}
+}
+
+func TestSpecNamesUniqueAndComplete(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 11 {
+		t.Fatalf("suite has %d programs, the paper uses 11", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		if names[s.Name] {
+			t.Errorf("duplicate name %s", s.Name)
+		}
+		names[s.Name] = true
+		if s.TargetInput <= s.TargetSqueeze {
+			t.Errorf("%s: input target %d <= squeeze target %d", s.Name, s.TargetInput, s.TargetSqueeze)
+		}
+	}
+	if _, ok := SpecByName("nonesuch"); ok {
+		t.Error("SpecByName invented a benchmark")
+	}
+}
+
+func ExampleSpec_Generate() {
+	s, _ := SpecByName("adpcm")
+	src := s.Generate()
+	fmt.Println(len(src) > 100000)
+	// Output: true
+}
+
+func TestLoopSplitDiagnosticFires(t *testing.T) {
+	// mpeg2dec has sizable loops inside cold handlers; at K=128 they cannot
+	// fit one region and the §7 diagnostic must fire.
+	s, _ := SpecByName("mpeg2dec")
+	s = shrunk(s)
+	sqObj, _, counts := squeezeAndProfile(t, s)
+	conf := core.DefaultConfig()
+	conf.Theta = 0.01
+	conf.Regions.K = 128
+	out, err := core.Squash(sqObj, counts, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Stats.LoopSplitWarnings) == 0 {
+		t.Error("no loop-split warnings at K=128 despite cold loops larger than the buffer")
+	}
+	conf.Regions.K = 4096
+	out2, err := core.Squash(sqObj, counts, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out2.Stats.LoopSplitWarnings) > len(out.Stats.LoopSplitWarnings) {
+		t.Errorf("larger buffer produced more split-loop warnings: %d vs %d",
+			len(out2.Stats.LoopSplitWarnings), len(out.Stats.LoopSplitWarnings))
+	}
+	t.Logf("K=128: %d warnings; K=4096: %d warnings",
+		len(out.Stats.LoopSplitWarnings), len(out2.Stats.LoopSplitWarnings))
+}

@@ -1,0 +1,251 @@
+// Package mediabench generates the benchmark suite used to evaluate the
+// reproduction: eleven deterministic EM32 programs modelled on the
+// MediaBench applications of the paper's evaluation (§7, Table 1, Fig. 5).
+//
+// The real MediaBench sources, the Alpha C compiler, and the paper's audio
+// and image inputs are unavailable, so each benchmark is a synthetic
+// program whose *structure* matches what profile-guided compression cares
+// about: total size (Table 1's instruction counts), the Input→Squeeze
+// redundancy (unreachable library code, padding no-ops, duplicated code
+// sequences), an 80/20 execution profile (small hot kernels executed per
+// input byte, large never- or rarely-executed cold code), jump tables,
+// recursion, function-pointer calls, leaf utility functions (buffer-safe
+// candidates), and — for pgp — setjmp/longjmp error handling. Programs
+// consume a byte stream and produce a deterministic byte stream plus a
+// final checksum, so that rewritten binaries can be checked for exact
+// behavioural equivalence.
+//
+// Profiling and timing inputs are distinct, as in the paper (Fig. 5): the
+// timing inputs are larger and contain "trigger" bytes that exercise code
+// the profiling input never reaches, which is precisely what makes dynamic
+// decompression traffic appear at higher cold-code thresholds θ.
+package mediabench
+
+import "math/rand"
+
+// Spec describes one synthetic benchmark.
+type Spec struct {
+	Name string
+	Seed int64
+
+	// Size targets, in instructions, from Table 1 of the paper.
+	TargetInput   int // before squeeze
+	TargetSqueeze int // after squeeze
+
+	// Structure.
+	HotFuncs      int     // hot kernel functions called every input byte
+	HotLoopIters  int     // inner-loop iterations per kernel call
+	ColdFuncs     int     // cold handler functions (trigger-reachable)
+	PeriodicFuncs int     // handlers called every 2^k bytes (rare but warm)
+	JumpTables    int     // cold switch dispatches
+	LeafFrac      float64 // fraction of cold calls aimed at leaf utilities
+	Recursive     bool    // include a recursive cold handler
+	UsesSetjmp    bool    // pgp-style error handling
+	ColdLoop      bool    // cold handlers contain sizable internal loops
+
+	// Redundancy removed by squeeze.
+	UnreachFrac float64 // unreachable code fraction of the input size
+	NopFrac     float64 // no-op padding fraction of the input size
+	DupIdioms   int     // distinct duplicated sequences (procedural abstraction)
+	DupCopies   int     // copies of each duplicated sequence
+
+	// Input sizes in bytes.
+	ProfBytes int
+	TimeBytes int
+	// TriggerRate is the approximate fraction of timing-input bytes that
+	// are cold-code triggers (the profiling input contains none).
+	TriggerRate float64
+}
+
+// Specs returns the full benchmark suite, ordered as in Table 1.
+func Specs() []Spec {
+	return []Spec{
+		{
+			Name: "adpcm", Seed: 101,
+			TargetInput: 18228, TargetSqueeze: 11690,
+			HotFuncs: 2, HotLoopIters: 6, ColdFuncs: 28, PeriodicFuncs: 4,
+			JumpTables: 2, LeafFrac: 0.10, Recursive: false,
+			UnreachFrac: 0.22, NopFrac: 0.08, DupIdioms: 6, DupCopies: 4,
+			ProfBytes: 400000, TimeBytes: 200000, TriggerRate: 0.004,
+		},
+		{
+			Name: "epic", Seed: 102,
+			TargetInput: 33880, TargetSqueeze: 24769,
+			HotFuncs: 3, HotLoopIters: 8, ColdFuncs: 52, PeriodicFuncs: 5,
+			JumpTables: 3, LeafFrac: 0.12, Recursive: true,
+			UnreachFrac: 0.16, NopFrac: 0.07, DupIdioms: 8, DupCopies: 4,
+			ProfBytes: 400000, TimeBytes: 200000, TriggerRate: 0.004,
+		},
+		{
+			Name: "g721_dec", Seed: 103,
+			TargetInput: 15089, TargetSqueeze: 12008,
+			HotFuncs: 2, HotLoopIters: 5, ColdFuncs: 24, PeriodicFuncs: 4,
+			JumpTables: 2, LeafFrac: 0.16, Recursive: false,
+			UnreachFrac: 0.10, NopFrac: 0.06, DupIdioms: 5, DupCopies: 3,
+			ProfBytes: 400000, TimeBytes: 200000, TriggerRate: 0.004,
+		},
+		{
+			Name: "g721_enc", Seed: 104,
+			TargetInput: 15065, TargetSqueeze: 11771,
+			HotFuncs: 2, HotLoopIters: 5, ColdFuncs: 24, PeriodicFuncs: 4,
+			JumpTables: 2, LeafFrac: 0.22, Recursive: false,
+			UnreachFrac: 0.11, NopFrac: 0.07, DupIdioms: 5, DupCopies: 3,
+			ProfBytes: 400000, TimeBytes: 200000, TriggerRate: 0.004,
+		},
+		{
+			Name: "gsm", Seed: 105,
+			TargetInput: 29789, TargetSqueeze: 21597,
+			HotFuncs: 3, HotLoopIters: 7, ColdFuncs: 48, PeriodicFuncs: 5,
+			JumpTables: 3, LeafFrac: 0.24, Recursive: false,
+			UnreachFrac: 0.17, NopFrac: 0.07, DupIdioms: 7, DupCopies: 4,
+			ProfBytes: 400000, TimeBytes: 200000, TriggerRate: 0.004,
+		},
+		{
+			Name: "jpeg_dec", Seed: 106,
+			TargetInput: 44094, TargetSqueeze: 37042,
+			HotFuncs: 4, HotLoopIters: 8, ColdFuncs: 70, PeriodicFuncs: 6,
+			JumpTables: 4, LeafFrac: 0.12, Recursive: true,
+			UnreachFrac: 0.08, NopFrac: 0.06, DupIdioms: 8, DupCopies: 3,
+			ProfBytes: 400000, TimeBytes: 200000, TriggerRate: 0.004,
+		},
+		{
+			Name: "jpeg_enc", Seed: 107,
+			TargetInput: 38701, TargetSqueeze: 32168,
+			HotFuncs: 4, HotLoopIters: 8, ColdFuncs: 60, PeriodicFuncs: 6,
+			JumpTables: 4, LeafFrac: 0.12, Recursive: true,
+			UnreachFrac: 0.08, NopFrac: 0.06, DupIdioms: 7, DupCopies: 3,
+			ProfBytes: 400000, TimeBytes: 200000, TriggerRate: 0.004,
+		},
+		{
+			Name: "mpeg2dec", Seed: 108,
+			TargetInput: 37833, TargetSqueeze: 27942,
+			HotFuncs: 3, HotLoopIters: 9, ColdFuncs: 55, PeriodicFuncs: 6,
+			JumpTables: 3, LeafFrac: 0.10, Recursive: false, ColdLoop: true,
+			UnreachFrac: 0.15, NopFrac: 0.08, DupIdioms: 8, DupCopies: 4,
+			ProfBytes: 400000, TimeBytes: 200000, TriggerRate: 0.004,
+		},
+		{
+			Name: "mpeg2enc", Seed: 109,
+			TargetInput: 47152, TargetSqueeze: 36062,
+			HotFuncs: 4, HotLoopIters: 9, ColdFuncs: 72, PeriodicFuncs: 6,
+			JumpTables: 4, LeafFrac: 0.10, Recursive: false, ColdLoop: true,
+			UnreachFrac: 0.14, NopFrac: 0.07, DupIdioms: 9, DupCopies: 4,
+			ProfBytes: 400000, TimeBytes: 200000, TriggerRate: 0.004,
+		},
+		{
+			Name: "pgp", Seed: 110,
+			TargetInput: 83726, TargetSqueeze: 60003,
+			HotFuncs: 4, HotLoopIters: 8, ColdFuncs: 130, PeriodicFuncs: 7,
+			JumpTables: 5, LeafFrac: 0.10, Recursive: true, UsesSetjmp: true,
+			UnreachFrac: 0.18, NopFrac: 0.08, DupIdioms: 12, DupCopies: 5,
+			ProfBytes: 400000, TimeBytes: 200000, TriggerRate: 0.004,
+		},
+		{
+			Name: "rasta", Seed: 111,
+			TargetInput: 91359, TargetSqueeze: 65273,
+			HotFuncs: 4, HotLoopIters: 8, ColdFuncs: 145, PeriodicFuncs: 7,
+			JumpTables: 5, LeafFrac: 0.12, Recursive: true,
+			UnreachFrac: 0.18, NopFrac: 0.08, DupIdioms: 12, DupCopies: 5,
+			ProfBytes: 400000, TimeBytes: 200000, TriggerRate: 0.004,
+		},
+	}
+}
+
+// SpecByName finds a spec.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range Specs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Trigger-byte classes. Bytes below 32 route into cold handlers; the two
+// classes model the paper's two sources of runtime decompression cost:
+//
+//   - semi-rare triggers (0..15) appear exactly once each in the profiling
+//     input, so their handlers have execution frequency ~1: they are warm at
+//     θ = 0 but flip to cold as θ grows — the code whose compression causes
+//     the rising overhead of Figure 7(b);
+//   - never-profiled triggers (16..31) are absent from the profiling input,
+//     so their handlers are cold even at θ = 0, and extremely rare in the
+//     timing input — the small θ = 0 overhead.
+const (
+	numSemiRare   = 16
+	neverProfBase = 16
+)
+
+// semiRareProfileCount reports how many times semi-rare trigger k occurs in
+// the profiling input. The counts grow geometrically (1, 2, 3, 6, 11, ...),
+// spreading the handlers' execution frequencies across two orders of
+// magnitude so the cold-code fraction grows *gradually* with θ, as in the
+// paper's Figure 4, instead of flipping all once-executed code at a single
+// threshold.
+func semiRareProfileCount(k int) int {
+	n := 1.0
+	for i := 0; i < k; i++ {
+		n *= 1.7
+	}
+	if n > 4000 {
+		n = 4000
+	}
+	return int(n)
+}
+
+// ProfilingInput generates the byte stream used to collect the execution
+// profile: normal bytes plus geometrically-spread occurrences of the
+// semi-rare triggers.
+func (s Spec) ProfilingInput() []byte {
+	r := rand.New(rand.NewSource(s.Seed * 7919))
+	out := make([]byte, s.ProfBytes)
+	for i := range out {
+		out[i] = 64 + byte(r.Intn(160)) // 64..223: never a trigger
+	}
+	pos := 37
+	for k := 0; k < numSemiRare; k++ {
+		count := semiRareProfileCount(k)
+		for c := 0; c < count && pos < len(out); c++ {
+			out[pos] = byte(k)
+			pos += 97 + r.Intn(61) // spread placements
+			if pos >= len(out) {
+				pos -= len(out) - 1
+			}
+		}
+	}
+	return out
+}
+
+// TimingInput generates the larger evaluation stream: semi-rare triggers at
+// TriggerRate, never-profiled triggers at TriggerRate/400 (a handful per
+// run — the paper's timing inputs touch never-profiled code rarely enough
+// that θ=0 compression costs almost nothing, Figure 7(b)).
+func (s Spec) TimingInput() []byte {
+	r := rand.New(rand.NewSource(s.Seed*104729 + 1))
+	out := make([]byte, s.TimeBytes)
+	for i := range out {
+		switch x := r.Float64(); {
+		case x < s.TriggerRate/400:
+			out[i] = neverProfBase + byte(r.Intn(16))
+		case x < s.TriggerRate:
+			out[i] = byte(r.Intn(numSemiRare))
+		default:
+			out[i] = 64 + byte(r.Intn(160))
+		}
+	}
+	return out
+}
+
+// PathologyInput is a timing input dominated by trigger bytes: profile-cold
+// code executes in a tight cycle, the situation the paper describes for the
+// SPECint li benchmark (an interprocedural cycle never executed in the
+// profile) and for mpeg2dec at K = 128 (a loop split across regions). It
+// makes dynamic decompression dominate the run time.
+func (s Spec) PathologyInput() []byte {
+	r := rand.New(rand.NewSource(s.Seed*31337 + 2))
+	out := make([]byte, s.TimeBytes/2)
+	for i := range out {
+		out[i] = byte(r.Intn(32))
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package profile
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cfg"
+)
+
+// synthProgram builds a program whose blocks have prescribed (freq, size)
+// pairs, bypassing the assembler: IdentifyCold only reads Freq/Weight/Insts.
+func synthProgram(blocks []struct {
+	freq uint64
+	size int
+}) *cfg.Program {
+	p := &cfg.Program{Entry: "f0"}
+	for i, b := range blocks {
+		blk := &cfg.Block{
+			Label:  labelFor(i),
+			Insts:  make([]cfg.Inst, b.size),
+			Freq:   b.freq,
+			Weight: b.freq * uint64(b.size),
+		}
+		p.Funcs = append(p.Funcs, &cfg.Func{Name: blk.Label, Blocks: []*cfg.Block{blk}})
+	}
+	return p
+}
+
+func labelFor(i int) string { return string(rune('f')) + string(rune('0'+i)) }
+
+func TestIdentifyColdThetaZero(t *testing.T) {
+	p := synthProgram([]struct {
+		freq uint64
+		size int
+	}{
+		{0, 10}, // never executed: always cold
+		{1, 10},
+		{100, 10},
+	})
+	cs := IdentifyCold(p, 0)
+	if !cs.Cold[labelFor(0)] || cs.Cold[labelFor(1)] || cs.Cold[labelFor(2)] {
+		t.Fatalf("θ=0 cold set wrong: %v", cs.Cold)
+	}
+	if cs.MaxFreq != 0 {
+		t.Errorf("MaxFreq = %d", cs.MaxFreq)
+	}
+	if cs.ColdInsts != 10 || cs.TotalInsts != 30 {
+		t.Errorf("insts: %d/%d", cs.ColdInsts, cs.TotalInsts)
+	}
+}
+
+func TestIdentifyColdWholeClassAdmission(t *testing.T) {
+	// Two freq-1 blocks with weights 10 and 10; total weight 1020. A budget
+	// that covers one but not both (θ ≈ 15/1020) must admit neither,
+	// because blocks of equal frequency are admitted as a class.
+	p := synthProgram([]struct {
+		freq uint64
+		size int
+	}{
+		{1, 10},
+		{1, 10},
+		{100, 10},
+	})
+	cs := IdentifyCold(p, 15.0/1020.0)
+	if cs.Cold[labelFor(0)] || cs.Cold[labelFor(1)] {
+		t.Fatalf("partial frequency class admitted: %v", cs.Cold)
+	}
+	cs = IdentifyCold(p, 25.0/1020.0)
+	if !cs.Cold[labelFor(0)] || !cs.Cold[labelFor(1)] {
+		t.Fatalf("full class not admitted: %v", cs.Cold)
+	}
+}
+
+func TestIdentifyColdThetaOne(t *testing.T) {
+	p := synthProgram([]struct {
+		freq uint64
+		size int
+	}{
+		{5, 3}, {7, 4}, {0, 2},
+	})
+	cs := IdentifyCold(p, 1)
+	if len(cs.Cold) != 3 {
+		t.Fatalf("θ=1 must mark everything cold: %v", cs.Cold)
+	}
+	if cs.ColdFraction() != 1 {
+		t.Errorf("fraction = %v", cs.ColdFraction())
+	}
+}
+
+func TestIdentifyColdClampsTheta(t *testing.T) {
+	p := synthProgram([]struct {
+		freq uint64
+		size int
+	}{{1, 5}})
+	if got := IdentifyCold(p, -3).ColdInsts; got != 0 {
+		t.Errorf("negative θ admitted %d insts", got)
+	}
+	if got := IdentifyCold(p, 42).ColdInsts; got != 5 {
+		t.Errorf("θ>1 admitted %d insts, want all 5", got)
+	}
+}
+
+func TestIdentifyColdMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		blocks := make([]struct {
+			freq uint64
+			size int
+		}, n)
+		for i := range blocks {
+			blocks[i].freq = uint64(r.Intn(1000))
+			blocks[i].size = 1 + r.Intn(50)
+		}
+		p := synthProgram(blocks)
+		prev := -1
+		for _, th := range []float64{0, 0.001, 0.01, 0.1, 0.5, 1} {
+			cs := IdentifyCold(p, th)
+			if cs.ColdInsts < prev {
+				return false
+			}
+			// Invariant: everything with freq <= MaxFreq is cold, nothing else.
+			for i, b := range blocks {
+				want := b.freq <= cs.MaxFreq
+				if cs.Cold[labelFor(i)] != want {
+					return false
+				}
+			}
+			prev = cs.ColdInsts
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountsSerializationRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := make(Counts, r.Intn(200))
+		for i := range c {
+			c[i] = uint64(r.Intn(1 << 30))
+		}
+		var buf bytes.Buffer
+		if _, err := c.WriteTo(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCounts(&buf)
+		if err != nil {
+			return false
+		}
+		if len(c) == 0 && len(back) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(c, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCountsRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{
+		nil,
+		[]byte("EMPX"),
+		[]byte("EMP1\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"), // huge count
+		[]byte{'E', 'M', 'P', '1', 3, 1},                       // truncated values
+	} {
+		if _, err := ReadCounts(bytes.NewReader(b)); err == nil {
+			t.Errorf("accepted %q", b)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package regions
+
+import (
+	"sort"
+
+	"repro/internal/cfg"
+)
+
+// Strategy selects the region-construction algorithm. The paper's
+// conclusion (§9) names "other algorithms for constructing compressible
+// regions" as future work; StrategyLoopAware is one such algorithm,
+// motivated by the §7 pathology: the DFS partitioner may split a loop
+// across regions, so a timing input that drives the loop pays one
+// decompression per iteration. The loop-aware strategy seeds regions from
+// natural loops first, keeping each loop that fits the buffer inside a
+// single region.
+type Strategy int
+
+const (
+	// StrategyDFS is the paper's bounded depth-first search (§4).
+	StrategyDFS Strategy = iota
+	// StrategyLoopAware groups whole natural loops first, then falls back
+	// to the DFS for the remaining cold blocks.
+	StrategyLoopAware
+)
+
+// naturalLoop returns the blocks of the natural loop of back edge
+// latch→header: the header plus every block that reaches the latch without
+// passing through the header (computed by reverse reachability).
+func naturalLoop(preds *Preds, inFunc map[string]*cfg.Block, latch, header string) []string {
+	loop := map[string]bool{header: true}
+	var stack []string
+	if !loop[latch] {
+		loop[latch] = true
+		stack = append(stack, latch)
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for p := range preds.FlowPreds[b] {
+			if inFunc[p] == nil || loop[p] {
+				continue
+			}
+			loop[p] = true
+			stack = append(stack, p)
+		}
+	}
+	out := make([]string, 0, len(loop))
+	for l := range loop {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// seedLoopRegions forms one region per compressible natural loop that fits
+// the buffer, before the generic DFS runs. Loops are processed smallest
+// first so inner loops get their own regions when an outer loop is too big.
+// It returns the regions created and marks their blocks assigned.
+func seedLoopRegions(p *cfg.Program, preds *Preds, candidates map[string]*cfg.Block,
+	assigned map[string]bool, res *Result, maxWords int, gamma float64) []*Region {
+
+	type loopInfo struct {
+		blocks []string
+		insts  int
+	}
+	var loops []loopInfo
+	for _, f := range p.Funcs {
+		inFunc := map[string]*cfg.Block{}
+		for _, b := range f.Blocks {
+			inFunc[b.Label] = b
+		}
+		sub := &cfg.Program{Funcs: []*cfg.Func{f}}
+		for _, e := range sub.BackEdges() {
+			blocks := naturalLoop(preds, inFunc, e.From, e.To)
+			ok := true
+			insts := 0
+			for _, l := range blocks {
+				if candidates[l] == nil || assigned[l] {
+					ok = false
+					break
+				}
+				insts += len(candidates[l].Insts)
+			}
+			if ok {
+				loops = append(loops, loopInfo{blocks, insts})
+			}
+		}
+	}
+	sort.Slice(loops, func(i, j int) bool {
+		if loops[i].insts != loops[j].insts {
+			return loops[i].insts < loops[j].insts
+		}
+		return loops[i].blocks[0] < loops[j].blocks[0]
+	})
+
+	var out []*Region
+	for _, li := range loops {
+		// Skip loops whose blocks were claimed by a smaller loop region.
+		ok := true
+		for _, l := range li.blocks {
+			if assigned[l] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		r := &Region{ID: len(res.Regions) + len(out)}
+		for _, l := range li.blocks {
+			r.Blocks = append(r.Blocks, candidates[l])
+		}
+		if BufferWords(r, nil) > maxWords {
+			continue // too big even alone; the DFS will carve it up
+		}
+		for _, b := range r.Blocks {
+			res.InRegion[b.Label] = r.ID
+		}
+		if !profitable(res, preds, r, gamma) {
+			for _, b := range r.Blocks {
+				delete(res.InRegion, b.Label)
+			}
+			continue
+		}
+		for _, b := range r.Blocks {
+			assigned[b.Label] = true
+		}
+		out = append(out, r)
+	}
+	return out
+}

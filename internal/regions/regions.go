@@ -1,0 +1,609 @@
+// Package regions implements the paper's compressible-region formation
+// (§4). The unit of compression is not the source-level function but an
+// arbitrary region of cold basic blocks, chosen to balance the size of the
+// runtime buffer (which must hold the largest decompressed region) against
+// the number of entry stubs and function-offset-table entries.
+//
+// The optimization problem is NP-hard (the paper reduces PARTITION to it),
+// so, as in the paper, a heuristic is used: bounded depth-first search over
+// the control-flow graph forms initial single-function regions, a
+// profitability test (entry-stub cost versus expected compression savings)
+// filters them, and a packing pass repeatedly merges the pair of regions
+// with the greatest savings while respecting the buffer bound.
+package regions
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cfg"
+	"repro/internal/isa"
+)
+
+// Config parameterizes region formation.
+type Config struct {
+	// K is the runtime buffer bound in bytes (paper default: 512).
+	K int
+	// Gamma is the assumed compression factor γ < 1: a region of I
+	// instructions is expected to compress to γ·I instructions' worth of
+	// bits (paper: split-stream coding achieves ≈0.66).
+	Gamma float64
+	// Pack enables the region-packing pass (on in the paper; switchable
+	// for the ablation benchmarks).
+	Pack bool
+	// Strategy selects the construction algorithm (the paper's DFS, or the
+	// loop-aware extension of §9's future work).
+	Strategy Strategy
+}
+
+// DebugTrace, when set, receives partitioning diagnostics.
+var DebugTrace func(string)
+
+// DefaultConfig returns the paper's parameter choices.
+func DefaultConfig() Config { return Config{K: 512, Gamma: 0.66, Pack: true} }
+
+// EntryStubWords is the size of one entry stub: a call to the decompressor
+// plus a tag word (paper: "the constant 2 is the number of words required
+// for an entry stub").
+const EntryStubWords = 2
+
+// Region is one unit of compression/decompression.
+type Region struct {
+	ID     int
+	Blocks []*cfg.Block // layout order
+}
+
+// NumInsts reports the region's size in instructions.
+func (r *Region) NumInsts() int {
+	n := 0
+	for _, b := range r.Blocks {
+		n += len(b.Insts)
+	}
+	return n
+}
+
+// Result is the outcome of partitioning.
+type Result struct {
+	Regions []*Region
+	// InRegion maps block label to region ID, or absent if uncompressed.
+	InRegion map[string]int
+	// Excluded maps cold-but-uncompressible block labels to the reason.
+	Excluded map[string]string
+	// ColdInsts and CompressibleInsts support the Figure 4 reproduction.
+	ColdInsts         int
+	CompressibleInsts int
+	TotalInsts        int
+}
+
+// Entries reports the labels of region r's entry blocks: blocks reachable
+// from outside the region (branch/fallthrough predecessors outside r, call
+// targets, address-taken blocks, or the program entry). These each require
+// an entry stub.
+func (res *Result) Entries(p *Preds, r *Region) []string {
+	memberOf := func(label string) (int, bool) {
+		id, ok := res.InRegion[label]
+		return id, ok
+	}
+	return EntriesOf(p, r, memberOf)
+}
+
+// EntriesOf is Entries with an explicit membership function, so the packing
+// pass can evaluate hypothetical merges without mutating the result.
+func EntriesOf(p *Preds, r *Region, memberOf func(string) (int, bool)) []string {
+	var out []string
+	for _, b := range r.Blocks {
+		if isEntry(p, r, b, memberOf) {
+			out = append(out, b.Label)
+		}
+	}
+	return out
+}
+
+func isEntry(p *Preds, r *Region, b *cfg.Block, memberOf func(string) (int, bool)) bool {
+	if p.AddressTaken[b.Label] || p.ProgramEntry == b.Label {
+		return true
+	}
+	external := func(pred string) bool {
+		id, in := memberOf(pred)
+		return !in || id != r.ID
+	}
+	for pred := range p.FlowPreds[b.Label] {
+		if external(pred) {
+			return true
+		}
+	}
+	for caller := range p.CallPreds[b.Label] {
+		if external(caller) {
+			return true
+		}
+	}
+	return false
+}
+
+// Preds is the program-wide predecessor index used for entry-point and
+// packing computations.
+type Preds struct {
+	// FlowPreds[b] = blocks with a branch or fallthrough edge to b.
+	FlowPreds map[string]map[string]bool
+	// CallPreds[entry] = blocks containing a call to the function whose
+	// entry block is entry.
+	CallPreds map[string]map[string]bool
+	// AddressTaken marks labels whose address escapes into data or into a
+	// register (la): control may arrive from anywhere.
+	AddressTaken map[string]bool
+	ProgramEntry string
+	owner        map[string]*cfg.Func
+}
+
+// BuildPreds indexes the program.
+func BuildPreds(p *cfg.Program) *Preds {
+	pr := &Preds{
+		FlowPreds:    map[string]map[string]bool{},
+		CallPreds:    map[string]map[string]bool{},
+		AddressTaken: map[string]bool{},
+		ProgramEntry: p.Entry,
+		owner:        map[string]*cfg.Func{},
+	}
+	add := func(m map[string]map[string]bool, to, from string) {
+		if m[to] == nil {
+			m[to] = map[string]bool{}
+		}
+		m[to][from] = true
+	}
+	labels := map[string]bool{}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			labels[b.Label] = true
+			pr.owner[b.Label] = f
+		}
+	}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			succs, _ := b.Succs()
+			for _, s := range succs {
+				add(pr.FlowPreds, s, b.Label)
+			}
+			for _, c := range b.Calls() {
+				if c.Callee != "" && labels[c.Callee] {
+					add(pr.CallPreds, c.Callee, b.Label)
+				}
+			}
+			for _, in := range b.Insts {
+				// A la of a code label takes its address (indirect call or
+				// computed branch target).
+				if in.Kind == cfg.TargetLo16 && labels[in.Target] {
+					pr.AddressTaken[in.Target] = true
+				}
+			}
+		}
+	}
+	for _, r := range p.DataRelocs {
+		if labels[r.Sym] {
+			pr.AddressTaken[r.Sym] = true
+		}
+	}
+	return pr
+}
+
+// BufferWords reports the exact number of runtime-buffer words region r
+// occupies when decompressed: the leading dispatch jump, the instructions
+// themselves, one branch per fallthrough edge broken by the layout or
+// leaving the region, and one extra word per call expanded into the
+// CreateStub sequence (c_i in the paper's cost model). safeCallee reports
+// callees proven buffer-safe (§6.1), whose calls are not expanded; pass nil
+// for the conservative bound.
+func BufferWords(r *Region, safeCallee func(string) bool) int {
+	words := 1 // leading jump to the entry offset
+	for i, b := range r.Blocks {
+		words += len(b.Insts)
+		if b.FallsTo != "" {
+			next := ""
+			if i+1 < len(r.Blocks) {
+				next = r.Blocks[i+1].Label
+			}
+			if b.FallsTo != next {
+				words++ // explicit branch inserted by the region layout
+			}
+		}
+		// Every call from the buffer to a non-buffer-safe callee expands
+		// into the CreateStub pair — including calls to targets in the
+		// same region, whose bodies may still branch to other regions.
+		for _, c := range b.Calls() {
+			if safeCallee != nil && c.Callee != "" && safeCallee(c.Callee) {
+				continue
+			}
+			words++
+		}
+	}
+	return words
+}
+
+// compressible classifies which cold blocks may be compressed at all, and
+// records exclusion reasons for the rest (paper: §2.2 setjmp, §4 unknown
+// control flow, §6.2 unresolved jump tables).
+func compressible(p *cfg.Program, cold map[string]bool) (map[string]*cfg.Block, map[string]string) {
+	ok := map[string]*cfg.Block{}
+	excluded := map[string]string{}
+	for _, f := range p.Funcs {
+		setjmp := f.CallsSetjmp()
+		// An unresolved indirect jump poisons the whole function: any block
+		// could be its target.
+		poisoned := false
+		for _, b := range f.Blocks {
+			if _, known := b.Succs(); !known {
+				poisoned = true
+			}
+		}
+		for _, b := range f.Blocks {
+			if !cold[b.Label] {
+				continue
+			}
+			switch {
+			case setjmp:
+				excluded[b.Label] = "function calls setjmp"
+			case poisoned:
+				excluded[b.Label] = "function contains unresolved indirect jump"
+			case hasRaw(b):
+				excluded[b.Label] = "block contains data words"
+			case endsInTableJump(b):
+				excluded[b.Label] = "block ends in jump-table dispatch (not unswitched)"
+			case hasIndirectUnknownCall(b):
+				excluded[b.Label] = "block contains indirect call with unknown target"
+			default:
+				ok[b.Label] = b
+			}
+		}
+	}
+	return ok, excluded
+}
+
+func hasRaw(b *cfg.Block) bool {
+	for _, in := range b.Insts {
+		if in.Raw {
+			return true
+		}
+	}
+	return false
+}
+
+func endsInTableJump(b *cfg.Block) bool {
+	if len(b.Insts) == 0 {
+		return false
+	}
+	last := b.Insts[len(b.Insts)-1]
+	return !last.Raw && last.Format == isa.FormatJump && last.JFunc == isa.JmpJMP
+}
+
+func hasIndirectUnknownCall(b *cfg.Block) bool {
+	for _, c := range b.Calls() {
+		if c.Indirect && c.Callee == "" {
+			return true
+		}
+	}
+	return false
+}
+
+// Partition forms compressible regions from the cold blocks of a profiled
+// program.
+func Partition(p *cfg.Program, cold map[string]bool, conf Config) (*Result, *Preds, error) {
+	if conf.K <= 0 || conf.Gamma <= 0 || conf.Gamma >= 1 {
+		return nil, nil, fmt.Errorf("regions: invalid config K=%d gamma=%v", conf.K, conf.Gamma)
+	}
+	maxWords := conf.K / isa.WordSize
+	preds := BuildPreds(p)
+	candidates, excluded := compressible(p, cold)
+
+	res := &Result{
+		InRegion: map[string]int{},
+		Excluded: excluded,
+	}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			res.TotalInsts += len(b.Insts)
+			if cold[b.Label] {
+				res.ColdInsts += len(b.Insts)
+			}
+		}
+	}
+
+	// Initial regions: optionally seed from natural loops (loop-aware
+	// strategy), then bounded DFS per function in block layout order.
+	assigned := map[string]bool{}
+	noRetry := map[string]bool{}
+	if conf.Strategy == StrategyLoopAware {
+		res.Regions = append(res.Regions,
+			seedLoopRegions(p, preds, candidates, assigned, res, maxWords, conf.Gamma)...)
+	}
+	for _, f := range p.Funcs {
+		for _, root := range f.Blocks {
+			if assigned[root.Label] || noRetry[root.Label] || candidates[root.Label] == nil {
+				continue
+			}
+			tree := dfsTree(f, root, candidates, assigned, maxWords)
+			if len(tree) == 0 {
+				if DebugTrace != nil {
+					DebugTrace(fmt.Sprintf("root %s: empty tree (block %d insts)", root.Label, len(root.Insts)))
+				}
+				continue
+			}
+			r := &Region{ID: len(res.Regions), Blocks: tree}
+			for _, b := range tree {
+				res.InRegion[b.Label] = r.ID
+			}
+			if DebugTrace != nil {
+				e := EntryStubWords * len(res.Entries(preds, r))
+				DebugTrace(fmt.Sprintf("root %s: tree %d blocks %d insts, E=%d profitable=%v",
+					root.Label, len(tree), r.NumInsts(), e, profitable(res, preds, r, conf.Gamma)))
+			}
+			if profitable(res, preds, r, conf.Gamma) {
+				for _, b := range tree {
+					assigned[b.Label] = true
+				}
+				res.Regions = append(res.Regions, r)
+			} else {
+				for _, b := range tree {
+					delete(res.InRegion, b.Label)
+				}
+				noRetry[root.Label] = true
+			}
+		}
+	}
+
+	if conf.Pack {
+		packRegions(res, preds, maxWords)
+	}
+
+	// Final bookkeeping: exclusion reasons for cold blocks left out.
+	for label, b := range candidates {
+		if _, in := res.InRegion[label]; !in {
+			if _, already := res.Excluded[label]; !already {
+				res.Excluded[label] = "not profitable to compress"
+			}
+			_ = b
+		}
+	}
+	for _, r := range res.Regions {
+		res.CompressibleInsts += r.NumInsts()
+	}
+	// Sanity: every region respects the buffer bound.
+	for _, r := range res.Regions {
+		if w := BufferWords(r, nil); w > maxWords {
+			return nil, nil, fmt.Errorf("regions: region %d needs %d words, bound is %d", r.ID, w, maxWords)
+		}
+	}
+	return res, preds, nil
+}
+
+// dfsTree grows a region from root by depth-first search over successor
+// edges, restricted to compressible, unassigned blocks of the same
+// function, keeping the exact buffer requirement within maxWords.
+func dfsTree(f *cfg.Func, root *cfg.Block, candidates map[string]*cfg.Block, assigned map[string]bool, maxWords int) []*cfg.Block {
+	inFunc := map[string]*cfg.Block{}
+	for _, b := range f.Blocks {
+		inFunc[b.Label] = b
+	}
+	var tree []*cfg.Block
+	seen := map[string]bool{}
+	var visit func(b *cfg.Block)
+	visit = func(b *cfg.Block) {
+		if seen[b.Label] || assigned[b.Label] || candidates[b.Label] == nil || inFunc[b.Label] == nil {
+			return
+		}
+		// Tentatively accept and check the exact buffer bound.
+		seen[b.Label] = true
+		tree = append(tree, b)
+		if BufferWords(&Region{Blocks: tree}, nil) > maxWords {
+			tree = tree[:len(tree)-1]
+			delete(seen, b.Label)
+			return
+		}
+		succs, _ := b.Succs()
+		for _, s := range succs {
+			if nb := inFunc[s]; nb != nil {
+				visit(nb)
+			}
+		}
+	}
+	visit(root)
+	return tree
+}
+
+// profitable implements the paper's test: a region of I instructions saves
+// (1-γ)·I instructions when compressed and costs E instructions of entry
+// stubs; compress only when E < (1-γ)·I.
+func profitable(res *Result, preds *Preds, r *Region, gamma float64) bool {
+	entries := res.Entries(preds, r)
+	e := EntryStubWords * len(entries)
+	i := r.NumInsts()
+	return float64(e) < (1-gamma)*float64(i)
+}
+
+// packRegions repeatedly merges the pair of regions with the greatest
+// savings without exceeding the buffer bound (paper, §4). Savings per merge:
+// entry stubs for blocks whose external predecessors all lie in the partner
+// region, restore-stub machinery for calls between the regions, a jump for
+// fallthrough edges knitted by concatenation, and one function-offset-table
+// word for the eliminated region.
+//
+// For tractability the pass runs in two phases: greedy best-pair merging
+// over *related* regions (pairs connected by a control-flow edge, a call, or
+// a fallthrough — the only pairs whose savings exceed the one-word table
+// saving), followed by first-fit-decreasing packing of the remainder, which
+// realizes the table-word savings the paper attributes to packing small
+// fragmented regions together.
+func packRegions(res *Result, preds *Preds, maxWords int) {
+	const restoreStubSavingWords = 3 // stub code words plus the buffer word
+
+	live := map[int]*Region{}
+	for _, r := range res.Regions {
+		live[r.ID] = r
+	}
+
+	mergedBufferWords := func(a, b *Region) int {
+		return BufferWords(&Region{Blocks: append(append([]*cfg.Block{}, a.Blocks...), b.Blocks...)}, nil)
+	}
+
+	savings := func(a, b *Region) int {
+		s := 1 // one fewer function-offset-table entry
+		merged := &Region{ID: a.ID, Blocks: append(append([]*cfg.Block{}, a.Blocks...), b.Blocks...)}
+		memberMerged := func(label string) (int, bool) {
+			id, ok := res.InRegion[label]
+			if ok && id == b.ID {
+				return a.ID, true
+			}
+			return id, ok
+		}
+		member := func(label string) (int, bool) {
+			id, ok := res.InRegion[label]
+			return id, ok
+		}
+		before := len(EntriesOf(preds, a, member)) + len(EntriesOf(preds, b, member))
+		after := len(EntriesOf(preds, merged, memberMerged))
+		s += EntryStubWords * (before - after)
+		// Calls between the two regions become intra-region.
+		for _, pair := range [2][2]*Region{{a, b}, {b, a}} {
+			for _, blk := range pair[0].Blocks {
+				for _, c := range blk.Calls() {
+					if c.Callee == "" {
+						continue
+					}
+					if id, in := res.InRegion[c.Callee]; in && id == pair[1].ID {
+						s += restoreStubSavingWords
+					}
+				}
+			}
+		}
+		// Fallthrough knitting: the last block of a falling through to the
+		// first block of b saves the inserted branch.
+		if n := len(a.Blocks); n > 0 && len(b.Blocks) > 0 {
+			if a.Blocks[n-1].FallsTo == b.Blocks[0].Label {
+				s++
+			}
+		}
+		return s
+	}
+
+	// relatedPairs: region pairs connected by flow, call, or fallthrough.
+	relatedPairs := func() map[[2]int]bool {
+		pairs := map[[2]int]bool{}
+		addPair := func(x, y int) {
+			if x == y {
+				return
+			}
+			if x > y {
+				x, y = y, x
+			}
+			pairs[[2]int{x, y}] = true
+		}
+		for _, r := range live {
+			for _, blk := range r.Blocks {
+				succs, _ := blk.Succs()
+				for _, s := range succs {
+					if id, in := res.InRegion[s]; in {
+						addPair(r.ID, id)
+					}
+				}
+				for _, c := range blk.Calls() {
+					if c.Callee == "" {
+						continue
+					}
+					if id, in := res.InRegion[c.Callee]; in {
+						addPair(r.ID, id)
+					}
+				}
+			}
+		}
+		return pairs
+	}
+
+	// Phase 1: greedy merging of related pairs by savings. Pairs are
+	// scored in sorted order so ties resolve deterministically.
+	for {
+		bestS, bestA, bestB := 1, -1, -1 // require savings beyond the table word
+		pairSet := relatedPairs()
+		pairs := make([][2]int, 0, len(pairSet))
+		for pr := range pairSet {
+			pairs = append(pairs, pr)
+		}
+		sort.Slice(pairs, func(i, j int) bool {
+			if pairs[i][0] != pairs[j][0] {
+				return pairs[i][0] < pairs[j][0]
+			}
+			return pairs[i][1] < pairs[j][1]
+		})
+		for _, pr := range pairs {
+			a, b := live[pr[0]], live[pr[1]]
+			if a == nil || b == nil {
+				continue
+			}
+			if mergedBufferWords(a, b) > maxWords {
+				continue
+			}
+			if s := savings(a, b); s > bestS {
+				bestS, bestA, bestB = s, pr[0], pr[1]
+			}
+		}
+		if bestA < 0 {
+			break
+		}
+		a, b := live[bestA], live[bestB]
+		a.Blocks = append(a.Blocks, b.Blocks...)
+		for _, blk := range b.Blocks {
+			res.InRegion[blk.Label] = a.ID
+		}
+		delete(live, bestB)
+	}
+
+	// Phase 2: first-fit-decreasing packing of what remains, for the
+	// function-offset-table savings.
+	ids := make([]int, 0, len(live))
+	for id := range live {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		wi := BufferWords(live[ids[i]], nil)
+		wj := BufferWords(live[ids[j]], nil)
+		if wi != wj {
+			return wi > wj
+		}
+		return ids[i] < ids[j]
+	})
+	var bins []*Region
+	for _, id := range ids {
+		r := live[id]
+		placed := false
+		for _, bin := range bins {
+			if mergedBufferWords(bin, r) <= maxWords {
+				bin.Blocks = append(bin.Blocks, r.Blocks...)
+				for _, blk := range r.Blocks {
+					res.InRegion[blk.Label] = bin.ID
+				}
+				delete(live, id)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			bins = append(bins, r)
+		}
+	}
+
+	// Renumber compactly in ascending original-ID order.
+	finalIDs := make([]int, 0, len(live))
+	for id := range live {
+		finalIDs = append(finalIDs, id)
+	}
+	sort.Ints(finalIDs)
+	var out []*Region
+	remap := map[int]int{}
+	for newID, oldID := range finalIDs {
+		r := live[oldID]
+		remap[oldID] = newID
+		r.ID = newID
+		out = append(out, r)
+	}
+	for l, id := range res.InRegion {
+		res.InRegion[l] = remap[id]
+	}
+	res.Regions = out
+}

@@ -1,0 +1,72 @@
+package squeeze
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/objfile"
+	"repro/internal/testprog"
+	"repro/internal/vm"
+)
+
+// TestDifferentialFuzzSqueeze checks behaviour preservation of every pass
+// combination over random structured programs.
+func TestDifferentialFuzzSqueeze(t *testing.T) {
+	inputs := [][]byte{
+		nil, []byte("x"), []byte("fuzzing the compactor"), make([]byte, 300),
+	}
+	for i := range inputs[3] {
+		inputs[3][i] = byte(11 * i)
+	}
+	n := 50
+	if testing.Short() {
+		n = 10
+	}
+	for seed := int64(1000); seed < int64(1000+n); seed++ {
+		src := testprog.Random(seed)
+		obj, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		im, err := objfile.Link("main", obj)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		r := rand.New(rand.NewSource(seed))
+		opts := Options{
+			NoUnreachable: r.Intn(3) == 0,
+			NoNops:        r.Intn(3) == 0,
+			NoAbstraction: r.Intn(3) == 0,
+		}
+		p, err := cfg.Build(obj, "main")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		st, err := RunOpts(p, opts)
+		if err != nil {
+			t.Fatalf("seed %d (%+v): %v", seed, opts, err)
+		}
+		if st.OutputInsts > st.InputInsts {
+			t.Fatalf("seed %d: squeeze grew the program %d -> %d", seed, st.InputInsts, st.OutputInsts)
+		}
+		sqIm, err := cfg.LowerAndLink(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, input := range inputs {
+			base := vm.New(im, input)
+			if err := base.Run(); err != nil {
+				t.Fatalf("seed %d baseline: %v", seed, err)
+			}
+			sq := vm.New(sqIm, input)
+			if err := sq.Run(); err != nil {
+				t.Fatalf("seed %d (%+v): squeezed run: %v", seed, opts, err)
+			}
+			if string(base.Output) != string(sq.Output) || base.Status != sq.Status {
+				t.Fatalf("seed %d (%+v): behaviour diverged", seed, opts)
+			}
+		}
+	}
+}

@@ -1,0 +1,323 @@
+package squeeze
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/vm"
+)
+
+func build(t *testing.T, src string) *cfg.Program {
+	t.Helper()
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	p, err := cfg.Build(obj, "main")
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return p
+}
+
+func runProgram(t *testing.T, p *cfg.Program, input []byte) *vm.Machine {
+	t.Helper()
+	im, err := cfg.LowerAndLink(p)
+	if err != nil {
+		t.Fatalf("LowerAndLink: %v", err)
+	}
+	m := vm.New(im, input)
+	if err := m.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return m
+}
+
+const redundantProgram = `
+        .text
+        .func main
+        lda  sp, -16(sp)
+        stw  ra, 0(sp)
+        nop
+        nop
+        sys  getc
+        blt  v0, quit
+        ; duplicated run A (8 pure instructions)
+        add  v0, 1, t0
+        sll  t0, 2, t1
+        xor  t1, t0, t2
+        sub  t2, 3, t3
+        and  t3, 255, t4
+        add  t4, t1, t5
+        mul  t5, t0, t6
+        srl  t6, 1, t7
+        mov  t7, a0
+        sys  putc
+        bsr  ra, twin
+        nop
+quit:   ldw  ra, 0(sp)
+        lda  sp, 16(sp)
+        clr  a0
+        sys  halt
+        .func twin
+        ; duplicated run A again
+        add  v0, 1, t0
+        sll  t0, 2, t1
+        xor  t1, t0, t2
+        sub  t2, 3, t3
+        and  t3, 255, t4
+        add  t4, t1, t5
+        mul  t5, t0, t6
+        srl  t6, 1, t7
+        mov  t7, a0
+        sys  putc
+        ret
+        .func deadfunc
+        nop
+        nop
+        nop
+        ret
+        .func deadfunc2
+        li   t0, 9
+        ret
+`
+
+func TestSqueezeRemovesUnreachableAndNops(t *testing.T) {
+	p := build(t, redundantProgram)
+	st, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FuncsRemoved != 2 {
+		t.Errorf("FuncsRemoved = %d, want 2", st.FuncsRemoved)
+	}
+	if st.NopsRemoved < 3 {
+		t.Errorf("NopsRemoved = %d, want >= 3", st.NopsRemoved)
+	}
+	if p.FuncByName("deadfunc") != nil || p.FuncByName("deadfunc2") != nil {
+		t.Error("dead functions survived")
+	}
+	if p.FuncByName("twin") == nil {
+		t.Error("reachable function twin was removed")
+	}
+	if st.OutputInsts >= st.InputInsts {
+		t.Errorf("no reduction: %d -> %d", st.InputInsts, st.OutputInsts)
+	}
+}
+
+func TestSqueezeAbstractsRepeats(t *testing.T) {
+	// twin touches ra? twin's block has no ra usage... but main's run block
+	// contains bsr (touches ra), so only twin's copy might qualify — with a
+	// single occurrence no abstraction happens. Build a program with two
+	// clean duplicate blocks instead.
+	src := `
+        .text
+        .func main
+        lda  sp, -16(sp)
+        stw  ra, 0(sp)
+        bsr  ra, f1
+        bsr  ra, f2
+        ldw  ra, 0(sp)
+        lda  sp, 16(sp)
+        clr  a0
+        sys  halt
+        .func f1
+        lda  sp, -16(sp)
+        stw  ra, 0(sp)
+        bsr  ra, leafy
+body1:  add  v0, 1, t0
+        sll  t0, 2, t1
+        xor  t1, t0, t2
+        sub  t2, 3, t3
+        and  t3, 255, t4
+        add  t4, t1, t5
+        mul  t5, t0, t6
+        srl  t6, 1, t7
+        ldw  ra, 0(sp)
+        lda  sp, 16(sp)
+        ret
+        .func f2
+        lda  sp, -16(sp)
+        stw  ra, 0(sp)
+        bsr  ra, leafy
+body2:  add  v0, 1, t0
+        sll  t0, 2, t1
+        xor  t1, t0, t2
+        sub  t2, 3, t3
+        and  t3, 255, t4
+        add  t4, t1, t5
+        mul  t5, t0, t6
+        srl  t6, 1, t7
+        ldw  ra, 0(sp)
+        lda  sp, 16(sp)
+        ret
+        .func leafy
+        li   v0, 5
+        ret
+`
+	p := build(t, src)
+	before := runProgram(t, p, nil)
+
+	p2 := build(t, src)
+	st, err := Run(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AbstractedFuncs != 1 {
+		t.Fatalf("AbstractedFuncs = %d, want 1 (stats: %+v)", st.AbstractedFuncs, st)
+	}
+	if st.AbstractedSavings <= 0 {
+		t.Fatalf("AbstractedSavings = %d", st.AbstractedSavings)
+	}
+	after := runProgram(t, p2, nil)
+	if before.Status != after.Status || string(before.Output) != string(after.Output) {
+		t.Fatalf("behaviour changed: %d/%q vs %d/%q", before.Status, before.Output, after.Status, after.Output)
+	}
+	// A pa$ function exists.
+	found := false
+	for _, f := range p2.Funcs {
+		if strings.HasPrefix(f.Name, "pa$") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no abstraction function created")
+	}
+}
+
+func TestSqueezePreservesBehaviour(t *testing.T) {
+	p := build(t, redundantProgram)
+	input := []byte("abc")
+	before := runProgram(t, p, input)
+
+	p2 := build(t, redundantProgram)
+	if _, err := Run(p2); err != nil {
+		t.Fatal(err)
+	}
+	after := runProgram(t, p2, input)
+	if string(before.Output) != string(after.Output) || before.Status != after.Status {
+		t.Fatalf("behaviour changed: %q/%d vs %q/%d",
+			before.Output, before.Status, after.Output, after.Status)
+	}
+	if after.Instructions >= before.Instructions {
+		t.Logf("note: squeezed code executed %d vs %d instructions", after.Instructions, before.Instructions)
+	}
+}
+
+func TestSqueezeKeepsJumpTableTargets(t *testing.T) {
+	src := `
+        .text
+        .func main
+        sys  getc
+        sub  v0, 48, t0
+        cmpult t0, 2, t1
+        beq  t1, bad
+        sll  t0, 2, t1
+        la   t2, table
+        add  t2, t1, t2
+        ldw  t3, 0(t2)
+        jmp  (t3)
+case0:  li   a0, 48
+        br   out
+case1:  li   a0, 49
+        br   out
+bad:    li   a0, 63
+out:    sys  putc
+        clr  a0
+        sys  halt
+        .data
+table:  .word case0, case1
+`
+	p := build(t, src)
+	if _, err := Run(p); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"case0", "case1"} {
+		if p.BlockByLabel(want) == nil {
+			t.Errorf("jump-table target %s was removed", want)
+		}
+	}
+	m := runProgram(t, p, []byte("1"))
+	if string(m.Output) != "1" {
+		t.Fatalf("output = %q", m.Output)
+	}
+}
+
+func TestSqueezeKeepsIndirectlyCalledFuncs(t *testing.T) {
+	src := `
+        .text
+        .func main
+        lda  sp, -16(sp)
+        stw  ra, 0(sp)
+        la   pv, callee
+        jsr  ra, (pv)
+        mov  v0, a0
+        ldw  ra, 0(sp)
+        lda  sp, 16(sp)
+        sys  halt
+        .func callee
+        li   v0, 77
+        ret
+`
+	p := build(t, src)
+	if _, err := Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if p.FuncByName("callee") == nil {
+		t.Fatal("indirectly called function removed")
+	}
+	m := runProgram(t, p, nil)
+	if m.Status != 77 {
+		t.Fatalf("status = %d", m.Status)
+	}
+}
+
+func TestSqueezeKeepsFuncsReferencedFromDataTables(t *testing.T) {
+	// A function-pointer table in data: main loads the table, indexes it,
+	// and calls through it. Both pointees must survive.
+	src := `
+        .text
+        .func main
+        lda  sp, -16(sp)
+        stw  ra, 0(sp)
+        sys  getc
+        sub  v0, 48, t0
+        sll  t0, 2, t0
+        la   t1, fptrs
+        add  t1, t0, t1
+        ldw  pv, 0(t1)
+        jsr  ra, (pv)
+        mov  v0, a0
+        ldw  ra, 0(sp)
+        lda  sp, 16(sp)
+        sys  halt
+        .func fa
+        li   v0, 10
+        ret
+        .func fb
+        li   v0, 20
+        ret
+        .data
+fptrs:  .word fa, fb
+`
+	p := build(t, src)
+	if _, err := Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if p.FuncByName("fa") == nil || p.FuncByName("fb") == nil {
+		t.Fatal("data-referenced functions removed")
+	}
+	m := runProgram(t, p, []byte("1"))
+	if m.Status != 20 {
+		t.Fatalf("status = %d, want 20", m.Status)
+	}
+}
+
+func TestReductionStat(t *testing.T) {
+	st := &Stats{InputInsts: 100, OutputInsts: 70}
+	if r := st.Reduction(); r < 0.299 || r > 0.301 {
+		t.Fatalf("Reduction = %v", r)
+	}
+}

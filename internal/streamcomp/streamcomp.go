@@ -1,0 +1,386 @@
+// Package streamcomp implements the paper's compression scheme (§3): a
+// simplified "splitting streams" coder. Each instruction is decomposed into
+// typed operand fields; the values of each field type form a stream; each
+// stream gets its own canonical Huffman code; and the codeword sequences of
+// all streams are merged into a single bit sequence, because the opcode —
+// always decoded first — fully determines which streams supply the
+// remaining fields of the instruction.
+//
+// Every compressed region ends with a sentinel (an illegal instruction)
+// that tells the decompressor to stop (§2.1).
+//
+// An optional move-to-front transform can be applied per stream before
+// Huffman coding; the paper notes it buys slightly better compression for
+// some streams at the cost of a larger, slower decompressor (§3). It is off
+// by default and exercised by the ablation benchmarks.
+package streamcomp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/huffman"
+	"repro/internal/isa"
+)
+
+// Options configures the compressor.
+type Options struct {
+	// MTF applies a move-to-front transform to each stream before coding.
+	MTF bool
+}
+
+// Compressor holds one canonical Huffman code per operand stream, trained
+// over all regions of a program. All regions share the codes; the code
+// tables are therefore charged once against the compressed program size.
+//
+// With MTF enabled the compressor additionally stores, per stream, the
+// sorted alphabet of raw values: both sides initialize each region's
+// move-to-front list from it, so recency indices are decodable. The
+// alphabets are extra decompressor data — the size and speed cost the paper
+// notes against the MTF variant.
+type Compressor struct {
+	codes     [isa.NumStreams]*huffman.Code
+	alphabets [isa.NumStreams][]uint32
+	opts      Options
+}
+
+// sentinelInst is the region terminator as seen by the field splitter.
+var sentinelInst = isa.Inst{Op: isa.OpIllegal, Format: isa.FormatIllegal}
+
+// Train builds the per-stream codes from the field-value frequencies of all
+// instruction sequences that will be compressed (the first pass of the
+// paper's two-pass process). A sentinel per sequence is included.
+func Train(seqs [][]isa.Inst, opts Options) *Compressor {
+	c := &Compressor{opts: opts}
+	if opts.MTF {
+		var seen [isa.NumStreams]map[uint32]bool
+		for i := range seen {
+			seen[i] = make(map[uint32]bool)
+		}
+		collect := func(in isa.Inst) {
+			for _, fv := range isa.Fields(in) {
+				seen[fv.Kind][fv.Value] = true
+			}
+		}
+		for _, seq := range seqs {
+			for _, in := range seq {
+				collect(in)
+			}
+			collect(sentinelInst)
+		}
+		for i := range seen {
+			vals := make([]uint32, 0, len(seen[i]))
+			for v := range seen[i] {
+				vals = append(vals, v)
+			}
+			sortU32(vals)
+			c.alphabets[i] = vals
+		}
+	}
+
+	var freqs [isa.NumStreams]map[uint32]uint64
+	for i := range freqs {
+		freqs[i] = make(map[uint32]uint64)
+	}
+	for _, seq := range seqs {
+		mtf := c.newMTF()
+		count := func(in isa.Inst) {
+			for _, fv := range isa.Fields(in) {
+				v := fv.Value
+				if mtf != nil {
+					v = mtf[fv.Kind].encode(v)
+				}
+				freqs[fv.Kind][v]++
+			}
+		}
+		for _, in := range seq {
+			count(in)
+		}
+		count(sentinelInst)
+	}
+	for i := range c.codes {
+		c.codes[i] = huffman.Build(freqs[i])
+	}
+	return c
+}
+
+func sortU32(v []uint32) {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+}
+
+// newMTF returns fresh per-stream MTF lists seeded from the alphabets, or
+// nil when the transform is disabled.
+func (c *Compressor) newMTF() []*mtfState {
+	if !c.opts.MTF {
+		return nil
+	}
+	out := make([]*mtfState, isa.NumStreams)
+	for i := range out {
+		out[i] = &mtfState{list: append([]uint32(nil), c.alphabets[i]...)}
+	}
+	return out
+}
+
+// Compress appends the merged codeword sequence for seq (plus the sentinel)
+// to w. MTF state starts fresh for each sequence so regions decompress
+// independently.
+func (c *Compressor) Compress(w *huffman.BitWriter, seq []isa.Inst) error {
+	mtf := c.newMTF()
+	emit := func(in isa.Inst) error {
+		for _, fv := range isa.Fields(in) {
+			v := fv.Value
+			if mtf != nil {
+				v = mtf[fv.Kind].encode(v)
+			}
+			if err := c.codes[fv.Kind].Encode(w, v); err != nil {
+				return fmt.Errorf("streamcomp: %v stream: %w", fv.Kind, err)
+			}
+		}
+		return nil
+	}
+	for _, in := range seq {
+		if in.Format == isa.FormatIllegal {
+			return fmt.Errorf("streamcomp: illegal instruction inside region")
+		}
+		if err := emit(in); err != nil {
+			return err
+		}
+	}
+	return emit(sentinelInst)
+}
+
+// CompressedBits reports the exact coded size in bits of seq including its
+// sentinel, without emitting anything.
+func (c *Compressor) CompressedBits(seq []isa.Inst) (int, error) {
+	var w huffman.BitWriter
+	if err := c.Compress(&w, seq); err != nil {
+		return 0, err
+	}
+	return w.Len(), nil
+}
+
+// Decompress reads one region's merged codeword sequence starting at bit
+// offset bitOff of blob, invoking emit for each instruction until the
+// sentinel. It returns the number of compressed bits consumed (sentinel
+// included), which the simulator's cost model charges for.
+func (c *Compressor) Decompress(blob []byte, bitOff int, emit func(isa.Inst) error) (bitsRead int, err error) {
+	r := huffman.NewBitReader(blob)
+	r.Seek(bitOff)
+	mtf := c.newMTF()
+	decodeField := func(k isa.StreamKind) (uint32, error) {
+		v, err := c.codes[k].Decode(r)
+		if err != nil {
+			return 0, fmt.Errorf("streamcomp: %v stream: %w", k, err)
+		}
+		if mtf != nil {
+			v = mtf[k].decode(v)
+		}
+		return v, nil
+	}
+	for {
+		op, err := decodeField(isa.StreamOpcode)
+		if err != nil {
+			return r.BitsRead() - bitOff, err
+		}
+		if op == isa.OpIllegal {
+			return r.BitsRead() - bitOff, nil // sentinel
+		}
+		fv := []isa.FieldValue{{Kind: isa.StreamOpcode, Value: op}}
+		// The opcode selects the remaining streams; for the operate group
+		// the op.func stream (decoded before op.rb/op.lit) carries the
+		// literal flag in its high bit.
+		switch isa.FormatOf(op) {
+		case isa.FormatOpReg:
+			ra, err := decodeField(isa.StreamOpRA)
+			if err != nil {
+				return r.BitsRead() - bitOff, err
+			}
+			fn, err := decodeField(isa.StreamOpFunc)
+			if err != nil {
+				return r.BitsRead() - bitOff, err
+			}
+			bKind := isa.StreamOpRB
+			if fn>>7&1 == 1 {
+				bKind = isa.StreamOpLit
+			}
+			bv, err := decodeField(bKind)
+			if err != nil {
+				return r.BitsRead() - bitOff, err
+			}
+			rc, err := decodeField(isa.StreamOpRC)
+			if err != nil {
+				return r.BitsRead() - bitOff, err
+			}
+			fv = append(fv,
+				isa.FieldValue{Kind: isa.StreamOpRA, Value: ra},
+				isa.FieldValue{Kind: isa.StreamOpFunc, Value: fn},
+				isa.FieldValue{Kind: bKind, Value: bv},
+				isa.FieldValue{Kind: isa.StreamOpRC, Value: rc})
+		case isa.FormatIllegal:
+			return r.BitsRead() - bitOff, fmt.Errorf("streamcomp: undecodable opcode %#x", op)
+		default:
+			for _, ref := range isa.OperandFields(op, false) {
+				v, err := decodeField(ref.Kind)
+				if err != nil {
+					return r.BitsRead() - bitOff, err
+				}
+				fv = append(fv, isa.FieldValue{Kind: ref.Kind, Value: v})
+			}
+		}
+		if err := emit(isa.FromFields(fv)); err != nil {
+			return r.BitsRead() - bitOff, err
+		}
+	}
+}
+
+// TableBytes reports the serialized size of all fifteen code tables — the
+// "code representation and value list for each stream" stored with the
+// compressed program (§3) — plus, under MTF, the per-stream alphabets.
+func (c *Compressor) TableBytes() int {
+	b, err := c.MarshalBinary()
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}
+
+func append24(out []byte, n int) []byte {
+	return append(out, byte(n), byte(n>>8), byte(n>>16))
+}
+
+func read24(data []byte, pos int) (int, int, error) {
+	if pos+3 > len(data) {
+		return 0, 0, fmt.Errorf("streamcomp: truncated length at byte %d", pos)
+	}
+	return int(data[pos]) | int(data[pos+1])<<8 | int(data[pos+2])<<16, pos + 3, nil
+}
+
+// MarshalBinary serializes the code tables (and MTF alphabets, if any).
+func (c *Compressor) MarshalBinary() ([]byte, error) {
+	var out []byte
+	if c.opts.MTF {
+		out = append(out, 1)
+	} else {
+		out = append(out, 0)
+	}
+	for _, code := range c.codes {
+		blob, err := code.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		if len(blob) > 0xFFFFFF {
+			return nil, fmt.Errorf("streamcomp: code table too large")
+		}
+		out = append24(out, len(blob))
+		out = append(out, blob...)
+	}
+	if c.opts.MTF {
+		for _, alpha := range c.alphabets {
+			out = append24(out, len(alpha))
+			prev := uint32(0)
+			for _, v := range alpha {
+				out = appendUvarint(out, uint64(v-prev)) // ascending deltas
+				prev = v
+			}
+		}
+	}
+	return out, nil
+}
+
+func appendUvarint(out []byte, v uint64) []byte {
+	for v >= 0x80 {
+		out = append(out, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(out, byte(v))
+}
+
+// UnmarshalBinary deserializes tables written by MarshalBinary.
+func (c *Compressor) UnmarshalBinary(data []byte) error {
+	if len(data) < 1 {
+		return fmt.Errorf("streamcomp: empty table blob")
+	}
+	c.opts.MTF = data[0] == 1
+	pos := 1
+	for i := range c.codes {
+		n, p, err := read24(data, pos)
+		if err != nil {
+			return err
+		}
+		pos = p
+		if pos+n > len(data) {
+			return fmt.Errorf("streamcomp: truncated table body for stream %d", i)
+		}
+		c.codes[i] = &huffman.Code{}
+		if err := c.codes[i].UnmarshalBinary(data[pos : pos+n]); err != nil {
+			return fmt.Errorf("streamcomp: stream %d: %w", i, err)
+		}
+		pos += n
+	}
+	if c.opts.MTF {
+		for i := range c.alphabets {
+			n, p, err := read24(data, pos)
+			if err != nil {
+				return err
+			}
+			pos = p
+			alpha := make([]uint32, n)
+			prev := uint64(0)
+			for k := 0; k < n; k++ {
+				var v uint64
+				var shift uint
+				for {
+					if pos >= len(data) {
+						return fmt.Errorf("streamcomp: truncated alphabet for stream %d", i)
+					}
+					b := data[pos]
+					pos++
+					v |= uint64(b&0x7F) << shift
+					if b < 0x80 {
+						break
+					}
+					shift += 7
+				}
+				prev += v
+				alpha[k] = uint32(prev)
+			}
+			c.alphabets[i] = alpha
+		}
+	} else {
+		c.alphabets = [isa.NumStreams][]uint32{}
+	}
+	if pos != len(data) {
+		return fmt.Errorf("streamcomp: %d trailing bytes", len(data)-pos)
+	}
+	return nil
+}
+
+// mtfState is a move-to-front recency list for one stream, seeded with the
+// stream's full sorted alphabet so every index is decodable.
+type mtfState struct {
+	list []uint32
+}
+
+// encode maps a value to its current recency index and fronts it. The value
+// is always present because the alphabet was collected during training.
+func (s *mtfState) encode(v uint32) uint32 {
+	for i, x := range s.list {
+		if x == v {
+			copy(s.list[1:], s.list[:i])
+			s.list[0] = v
+			return uint32(i)
+		}
+	}
+	panic(fmt.Sprintf("streamcomp: MTF value %d outside trained alphabet", v))
+}
+
+// decode maps a recency index back to its value and fronts it.
+func (s *mtfState) decode(idx uint32) uint32 {
+	if int(idx) >= len(s.list) {
+		panic(fmt.Sprintf("streamcomp: MTF index %d outside alphabet of %d", idx, len(s.list)))
+	}
+	v := s.list[idx]
+	copy(s.list[1:], s.list[:idx])
+	s.list[0] = v
+	return v
+}

@@ -1,0 +1,286 @@
+package streamcomp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/huffman"
+	"repro/internal/isa"
+)
+
+// realisticSeq builds an instruction sequence with the skewed field
+// distributions of real code (stack ops, small displacements, common regs).
+func realisticSeq(seed int64, n int) []isa.Inst {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]isa.Inst, 0, n)
+	regs := []uint32{isa.RegV0, isa.RegT0, isa.RegT0 + 1, isa.RegA0, isa.RegA1, isa.RegSP, isa.RegS0}
+	reg := func() uint32 { return regs[r.Intn(len(regs))] }
+	for len(out) < n {
+		switch r.Intn(10) {
+		case 0, 1:
+			out = append(out, isa.Mem(isa.OpLDW, reg(), isa.RegSP, int32(4*r.Intn(8))))
+		case 2:
+			out = append(out, isa.Mem(isa.OpSTW, reg(), isa.RegSP, int32(4*r.Intn(8))))
+		case 3, 4:
+			out = append(out, isa.OpR(isa.OpIntA, reg(), reg(), isa.FnADD, reg()))
+		case 5:
+			out = append(out, isa.OpL(isa.OpIntA, reg(), uint32(r.Intn(16)), isa.FnSUB, reg()))
+		case 6:
+			out = append(out, isa.Br(isa.OpBEQ, reg(), int32(r.Intn(64))-32))
+		case 7:
+			out = append(out, isa.Br(isa.OpBSR, isa.RegRA, int32(r.Intn(1024))))
+		case 8:
+			out = append(out, isa.OpR(isa.OpIntL, reg(), reg(), isa.FnBIS, reg()))
+		case 9:
+			out = append(out, isa.Jump(isa.JmpRET, isa.RegZero, isa.RegRA, 0))
+		}
+	}
+	return out
+}
+
+func roundTrip(t *testing.T, opts Options, seqs [][]isa.Inst) {
+	t.Helper()
+	c := Train(seqs, opts)
+	var w huffman.BitWriter
+	offsets := make([]int, len(seqs))
+	for i, seq := range seqs {
+		offsets[i] = w.Len()
+		if err := c.Compress(&w, seq); err != nil {
+			t.Fatalf("Compress region %d: %v", i, err)
+		}
+	}
+	blob := w.Bytes()
+	for i, seq := range seqs {
+		var got []isa.Inst
+		bits, err := c.Decompress(blob, offsets[i], func(in isa.Inst) error {
+			got = append(got, in)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Decompress region %d: %v", i, err)
+		}
+		if bits <= 0 {
+			t.Fatalf("region %d: nonpositive bits read", i)
+		}
+		if len(got) != len(seq) {
+			t.Fatalf("region %d: decoded %d instructions, want %d", i, len(got), len(seq))
+		}
+		for k := range seq {
+			if got[k] != seq[k] {
+				t.Fatalf("region %d inst %d: got %v, want %v", i, k, got[k], seq[k])
+			}
+		}
+	}
+}
+
+func TestRoundTripRealistic(t *testing.T) {
+	seqs := [][]isa.Inst{
+		realisticSeq(1, 40),
+		realisticSeq(2, 7),
+		realisticSeq(3, 128),
+		realisticSeq(4, 1),
+	}
+	roundTrip(t, Options{}, seqs)
+}
+
+func TestRoundTripMTF(t *testing.T) {
+	seqs := [][]isa.Inst{
+		realisticSeq(5, 60),
+		realisticSeq(6, 13),
+		realisticSeq(7, 99),
+	}
+	roundTrip(t, Options{MTF: true}, seqs)
+}
+
+func TestRoundTripRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		insts := isa.RandInsts(seed, 50)
+		// Drop illegal-format instructions (sentinels may not appear
+		// inside a region).
+		var seq []isa.Inst
+		for _, in := range insts {
+			if in.Format != isa.FormatIllegal {
+				seq = append(seq, in)
+			}
+		}
+		seqs := [][]isa.Inst{seq, seq[:len(seq)/2]}
+		c := Train(seqs, Options{})
+		var w huffman.BitWriter
+		var offsets []int
+		for _, s := range seqs {
+			offsets = append(offsets, w.Len())
+			if err := c.Compress(&w, s); err != nil {
+				return false
+			}
+		}
+		blob := w.Bytes()
+		for i, s := range seqs {
+			var got []isa.Inst
+			if _, err := c.Decompress(blob, offsets[i], func(in isa.Inst) error {
+				got = append(got, in)
+				return nil
+			}); err != nil {
+				return false
+			}
+			if len(got) != len(s) {
+				return false
+			}
+			for k := range s {
+				if got[k] != s[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualOpcodesRoundTrip(t *testing.T) {
+	seq := []isa.Inst{
+		isa.Br(isa.OpBSRX, isa.RegRA, 1234),
+		{Op: isa.OpJSRX, Format: isa.FormatJump, RA: isa.RegRA, RB: isa.RegPV},
+		isa.Br(isa.OpBSR, isa.RegRA, -7),
+	}
+	roundTrip(t, Options{}, [][]isa.Inst{seq})
+}
+
+func TestCompressRejectsSentinelInRegion(t *testing.T) {
+	c := Train([][]isa.Inst{{isa.Nop()}}, Options{})
+	var w huffman.BitWriter
+	err := c.Compress(&w, []isa.Inst{{Format: isa.FormatIllegal, Op: isa.OpIllegal}})
+	if err == nil {
+		t.Fatal("expected error for sentinel inside region")
+	}
+}
+
+func TestEmptyRegion(t *testing.T) {
+	roundTrip(t, Options{}, [][]isa.Inst{{}})
+}
+
+func TestCompressionBeatsRawEncoding(t *testing.T) {
+	// Realistic code must compress well below 32 bits/instruction; the
+	// paper reports ≈66% of original size, i.e. ≈21 bits. Allow a generous
+	// margin for this small synthetic sample but require real compression.
+	seqs := [][]isa.Inst{realisticSeq(11, 2000)}
+	c := Train(seqs, Options{})
+	bits, err := c.CompressedBits(seqs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	perInst := float64(bits) / float64(len(seqs[0]))
+	if perInst >= 28 {
+		t.Fatalf("%.1f bits/instruction; expected meaningful compression below 28", perInst)
+	}
+	t.Logf("%.1f bits per instruction (raw: 32)", perInst)
+}
+
+func TestCompressedBitsMatchesCompress(t *testing.T) {
+	seqs := [][]isa.Inst{realisticSeq(13, 300), realisticSeq(14, 30)}
+	c := Train(seqs, Options{})
+	for _, s := range seqs {
+		want, err := c.CompressedBits(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var w huffman.BitWriter
+		if err := c.Compress(&w, s); err != nil {
+			t.Fatal(err)
+		}
+		if w.Len() != want {
+			t.Fatalf("CompressedBits = %d, Compress wrote %d", want, w.Len())
+		}
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	for _, opts := range []Options{{}, {MTF: true}} {
+		seqs := [][]isa.Inst{realisticSeq(21, 120), realisticSeq(22, 60)}
+		c := Train(seqs, opts)
+		blob, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Compressor
+		if err := back.UnmarshalBinary(blob); err != nil {
+			t.Fatalf("UnmarshalBinary (MTF=%v): %v", opts.MTF, err)
+		}
+		// The deserialized compressor must decode data compressed by the
+		// original.
+		var w huffman.BitWriter
+		if err := c.Compress(&w, seqs[0]); err != nil {
+			t.Fatal(err)
+		}
+		var got []isa.Inst
+		if _, err := back.Decompress(w.Bytes(), 0, func(in isa.Inst) error {
+			got = append(got, in)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(seqs[0]) {
+			t.Fatalf("decoded %d instructions, want %d", len(got), len(seqs[0]))
+		}
+		for i := range got {
+			if got[i] != seqs[0][i] {
+				t.Fatalf("inst %d differs after serialize round trip", i)
+			}
+		}
+		if c.TableBytes() != len(blob) {
+			t.Fatalf("TableBytes = %d, blob = %d", c.TableBytes(), len(blob))
+		}
+	}
+}
+
+func TestDecompressDetectsCorruption(t *testing.T) {
+	seqs := [][]isa.Inst{realisticSeq(31, 100)}
+	c := Train(seqs, Options{})
+	var w huffman.BitWriter
+	if err := c.Compress(&w, seqs[0]); err != nil {
+		t.Fatal(err)
+	}
+	blob := w.Bytes()
+	// Flip bits; decoding must either error or stop, never loop forever.
+	for i := 0; i < len(blob); i += 7 {
+		corrupted := append([]byte(nil), blob...)
+		corrupted[i] ^= 0xA5
+		n := 0
+		_, err := c.Decompress(corrupted, 0, func(isa.Inst) error {
+			n++
+			if n > 10*len(seqs[0]) {
+				t.Fatal("decoder ran away on corrupted input")
+			}
+			return nil
+		})
+		_ = err // error or early sentinel are both acceptable
+	}
+}
+
+func TestMTFCompressesRepetitiveStreamsBetter(t *testing.T) {
+	// A sequence cycling through a few distinct displacement values with
+	// strong recency should favor MTF.
+	var seq []isa.Inst
+	disps := []int32{0, 4, 8, 1000, 2000, 3000, 4000, 5000, 6000, 7000}
+	for i := 0; i < 600; i++ {
+		d := disps[(i/20)%len(disps)]
+		seq = append(seq, isa.Mem(isa.OpLDW, isa.RegT0, isa.RegSP, d))
+	}
+	plain := Train([][]isa.Inst{seq}, Options{})
+	mtf := Train([][]isa.Inst{seq}, Options{MTF: true})
+	pb, err := plain.CompressedBits(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := mtf.CompressedBits(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("plain %d bits, MTF %d bits", pb, mb)
+	// MTF should not be dramatically worse on recency-heavy data.
+	if float64(mb) > 1.3*float64(pb) {
+		t.Fatalf("MTF %d bits much worse than plain %d", mb, pb)
+	}
+}

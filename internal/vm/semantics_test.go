@@ -1,0 +1,233 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/objfile"
+)
+
+// runExpr assembles a fragment that computes into a0 and returns the exit
+// status (the computed value).
+func runExpr(t *testing.T, body string) int32 {
+	t.Helper()
+	src := "        .text\n        .func main\n" + body + "\n        sys  halt\n"
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	im, err := objfile.Link("main", obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(im, nil)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m.Status
+}
+
+func TestArithmeticWrapsAt32Bits(t *testing.T) {
+	// 0x7FFFFFFF + 1 wraps to -0x80000000.
+	got := runExpr(t, `
+        li   t0, 0x7FFFFFFF
+        add  t0, 1, t0
+        li   t1, 0x80000000
+        cmpeq t0, t1, a0`)
+	if got != 1 {
+		t.Fatalf("int32 wraparound broken")
+	}
+}
+
+func TestShiftCountMasksTo31(t *testing.T) {
+	// Shifting by 33 behaves as shifting by 1 (Alpha-style b&31).
+	got := runExpr(t, `
+        li   t0, 8
+        li   t1, 33
+        sll  t0, t1, a0`)
+	if got != 16 {
+		t.Fatalf("sll by 33 = %d, want 16", got)
+	}
+}
+
+func TestSraSignExtends(t *testing.T) {
+	got := runExpr(t, `
+        li   t0, -64
+        sra  t0, 3, a0`)
+	if got != -8 {
+		t.Fatalf("sra(-64, 3) = %d", got)
+	}
+}
+
+func TestUnsignedCompares(t *testing.T) {
+	// -1 as unsigned is the maximum value.
+	got := runExpr(t, `
+        li   t0, -1
+        li   t1, 5
+        cmpult t1, t0, a0`)
+	if got != 1 {
+		t.Fatal("cmpult treats operands as signed")
+	}
+	got = runExpr(t, `
+        li   t0, -1
+        li   t1, 5
+        cmpult t0, t1, a0`)
+	if got != 0 {
+		t.Fatal("cmpult wrong direction")
+	}
+}
+
+func TestMulhNegative(t *testing.T) {
+	// (-2^30 * 8) >> 32 = -2.
+	got := runExpr(t, `
+        li   t0, 0xC0000000
+        li   t1, 8
+        mulh t0, t1, a0`)
+	if got != -2 {
+		t.Fatalf("mulh = %d, want -2", got)
+	}
+}
+
+func TestDivTruncatesTowardZero(t *testing.T) {
+	if got := runExpr(t, "li t0, -7\n li t1, 2\n div t0, t1, a0"); got != -3 {
+		t.Fatalf("-7/2 = %d, want -3", got)
+	}
+	if got := runExpr(t, "li t0, -7\n li t1, 2\n mod t0, t1, a0"); got != -1 {
+		t.Fatalf("-7%%2 = %d, want -1", got)
+	}
+}
+
+func runProgramStatus(t *testing.T, src string) int32 {
+	t.Helper()
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	im, err := objfile.Link("main", obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(im, nil)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m.Status
+}
+
+func TestByteLoadZeroExtends(t *testing.T) {
+	got := runProgramStatus(t, `
+        .text
+        .func main
+        la   t0, b
+        ldb  a0, 0(t0)
+        sys  halt
+        .data
+b:      .byte 0xFF`)
+	if got != 255 {
+		t.Fatalf("ldb 0xFF = %d, want 255 (zero-extension)", got)
+	}
+}
+
+func TestByteStoreTruncates(t *testing.T) {
+	got := runProgramStatus(t, `
+        .text
+        .func main
+        la   t0, b
+        li   t1, 0x1FF
+        stb  t1, 0(t0)
+        ldb  a0, 0(t0)
+        sys  halt
+        .data
+b:      .byte 0`)
+	if got != 0xFF {
+		t.Fatalf("stb truncation = %d", got)
+	}
+}
+
+func TestLdahShiftsHigh(t *testing.T) {
+	got := runExpr(t, `
+        ldah t0, 2(zero)
+        srl  t0, 16, a0`)
+	if got != 2 {
+		t.Fatalf("ldah high half = %d", got)
+	}
+}
+
+func TestLongjmpRestoresStackPointer(t *testing.T) {
+	// setjmp in main, longjmp from a deep callee: SP must come back to
+	// main's frame.
+	src := `
+        .text
+        .func main
+        lda  sp, -32(sp)
+        mov  sp, t7
+        sys  setjmp
+        bne  v0, after
+        bsr  ra, deep
+after:  cmpeq sp, t7, a0
+        sys  halt
+        .func deep
+        lda  sp, -48(sp)
+        sys  longjmp
+        ret
+`
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := objfile.Link("main", obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(im, nil)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Status != 1 {
+		t.Fatal("longjmp did not restore SP")
+	}
+}
+
+func TestGetcAfterEOFKeepsReturningMinusOne(t *testing.T) {
+	src := `
+        .text
+        .func main
+        sys  getc
+        sys  getc
+        sys  getc
+        mov  v0, a0
+        sys  halt
+`
+	obj, _ := asm.Assemble(src)
+	im, _ := objfile.Link("main", obj)
+	m := New(im, []byte{65})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Status != -1 {
+		t.Fatalf("GETC past EOF = %d", m.Status)
+	}
+}
+
+func TestJumpMasksLowBits(t *testing.T) {
+	// jmp through a register with low bits set still lands word-aligned.
+	src := `
+        .text
+        .func main
+        la   t0, target
+        add  t0, 2, t0
+        jmp  (t0)
+        nop
+target: li   a0, 5
+        sys  halt
+`
+	obj, _ := asm.Assemble(src)
+	im, _ := objfile.Link("main", obj)
+	m := New(im, nil)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Status != 5 {
+		t.Fatalf("status %d", m.Status)
+	}
+}

@@ -1,0 +1,473 @@
+// Package vm implements a cycle-counting interpreter for EM32 images. It is
+// the stand-in for the paper's Alpha 21264 test machine: it executes linked
+// executables — including rewritten (squashed) ones — collects basic-block
+// execution profiles, and charges a deterministic cycle cost per operation
+// so that relative execution times can be compared across program versions.
+//
+// The decompression runtime of the squashed binaries is installed as a Hook:
+// when control reaches the reserved decompressor region, the hook runs
+// instead of the (deliberately unexecutable) placeholder words there. The
+// hook writes real instructions into the runtime buffer and stub area, which
+// the interpreter then executes normally, exactly mirroring the paper's
+// software decompressor whose output is ordinary machine code.
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/objfile"
+)
+
+// Hook intercepts execution of a reserved address range (the decompressor).
+type Hook interface {
+	// Range reports the intercepted half-open address interval.
+	Range() (lo, hi uint32)
+	// Enter is invoked when the program counter enters the range. It must
+	// update the machine state (including PC) to continue execution.
+	Enter(m *Machine) error
+}
+
+// TrapError describes an execution fault.
+type TrapError struct {
+	PC     uint32
+	Reason string
+}
+
+func (e *TrapError) Error() string {
+	return fmt.Sprintf("vm: trap at pc=%#x: %s", e.PC, e.Reason)
+}
+
+// ErrInstructionLimit is returned when execution exceeds the configured
+// instruction budget, which indicates a runaway loop in a test program.
+var ErrInstructionLimit = errors.New("vm: instruction limit exceeded")
+
+// Machine is one EM32 execution context.
+type Machine struct {
+	Mem []byte
+	Reg [isa.NumRegs]int32
+	PC  uint32
+
+	// Input is consumed by the GETC syscall; Output accumulates PUTC bytes.
+	Input  []byte
+	inPos  int
+	Output []byte
+
+	// Halted is set by the HALT syscall; Status is its exit code.
+	Halted bool
+	Status int32
+
+	// Statistics.
+	Instructions uint64
+	Cycles       uint64
+
+	// Profile counts executions per text word when profiling is enabled
+	// with EnableProfile. Index is (pc - TextBase) / 4.
+	Profile []uint64
+
+	// MaxInstructions bounds execution; 0 means the package default.
+	MaxInstructions uint64
+
+	// Hook, when set, intercepts its address range (see Hook).
+	Hook Hook
+
+	// ICache, when set, models a direct-mapped instruction cache (see
+	// icache.go); fetches charge its miss penalty.
+	ICache *ICache
+
+	// Cost is the decompression cost model used by hooks; defaults are
+	// installed by New.
+	Cost CostModel
+
+	// StackCheck records Reg[SP] at every PUTC syscall when enabled; the
+	// equivalence tests compare these traces between program versions to
+	// verify the paper's claim that the call stack of the original and the
+	// compressed program are the same size at every point (§2.2).
+	StackCheck bool
+	SPTrace    []int32
+
+	// textWords is the extent of the text section in words, used for
+	// profile bounds and the decode cache.
+	textWords int
+
+	// Decode cache over the text segment, invalidated on stores.
+	icache []cachedInst
+
+	jmp *jmpState
+}
+
+type cachedInst struct {
+	valid bool
+	inst  isa.Inst
+}
+
+type jmpState struct {
+	reg [isa.NumRegs]int32
+	pc  uint32
+	set bool
+}
+
+// DefaultMaxInstructions bounds a single Run unless overridden.
+const DefaultMaxInstructions = 2_000_000_000
+
+// New creates a machine loaded with the image: text and data copied into a
+// fresh MemSize memory, SP initialized to StackTop, PC at the entry point.
+func New(im *objfile.Image, input []byte) *Machine {
+	m := &Machine{
+		Mem:       make([]byte, objfile.MemSize),
+		Input:     input,
+		PC:        im.Entry,
+		textWords: len(im.Text),
+		Cost:      DefaultCostModel(),
+	}
+	for i, w := range im.Text {
+		putWord(m.Mem, objfile.TextBase+uint32(i*isa.WordSize), w)
+	}
+	copy(m.Mem[objfile.DataBase:], im.Data)
+	m.Reg[isa.RegSP] = int32(objfile.StackTop)
+	m.icache = make([]cachedInst, len(im.Text))
+	return m
+}
+
+// EnableProfile allocates the per-word execution counter array.
+func (m *Machine) EnableProfile() {
+	m.Profile = make([]uint64, m.textWords)
+}
+
+// InvalidateRange drops decode-cache entries for [lo, hi); hooks that write
+// instructions (the decompressor) must call this for the bytes they touch.
+func (m *Machine) InvalidateRange(lo, hi uint32) {
+	for a := lo &^ 3; a < hi; a += isa.WordSize {
+		if idx := int(a-objfile.TextBase) / isa.WordSize; idx >= 0 && idx < len(m.icache) {
+			m.icache[idx].valid = false
+		}
+	}
+}
+
+// ReadWord fetches the aligned 32-bit word at addr.
+func (m *Machine) ReadWord(addr uint32) (uint32, error) {
+	if addr%isa.WordSize != 0 {
+		return 0, &TrapError{m.PC, fmt.Sprintf("unaligned word read at %#x", addr)}
+	}
+	if addr+4 > uint32(len(m.Mem)) {
+		return 0, &TrapError{m.PC, fmt.Sprintf("word read out of bounds at %#x", addr)}
+	}
+	return getWord(m.Mem, addr), nil
+}
+
+// WriteWord stores the aligned 32-bit word at addr, invalidating any cached
+// decode of that location.
+func (m *Machine) WriteWord(addr uint32, v uint32) error {
+	if addr%isa.WordSize != 0 {
+		return &TrapError{m.PC, fmt.Sprintf("unaligned word write at %#x", addr)}
+	}
+	if addr+4 > uint32(len(m.Mem)) {
+		return &TrapError{m.PC, fmt.Sprintf("word write out of bounds at %#x", addr)}
+	}
+	putWord(m.Mem, addr, v)
+	if idx := int(addr-objfile.TextBase) / isa.WordSize; idx >= 0 && idx < len(m.icache) {
+		m.icache[idx].valid = false
+	}
+	return nil
+}
+
+func getWord(mem []byte, a uint32) uint32 {
+	return uint32(mem[a]) | uint32(mem[a+1])<<8 | uint32(mem[a+2])<<16 | uint32(mem[a+3])<<24
+}
+
+func putWord(mem []byte, a uint32, v uint32) {
+	mem[a] = byte(v)
+	mem[a+1] = byte(v >> 8)
+	mem[a+2] = byte(v >> 16)
+	mem[a+3] = byte(v >> 24)
+}
+
+// fetch decodes the instruction at pc, consulting the decode cache.
+func (m *Machine) fetch(pc uint32) (isa.Inst, error) {
+	if pc%isa.WordSize != 0 {
+		return isa.Inst{}, &TrapError{pc, "unaligned instruction fetch"}
+	}
+	idx := int(pc-objfile.TextBase) / isa.WordSize
+	if idx >= 0 && idx < len(m.icache) && m.icache[idx].valid {
+		return m.icache[idx].inst, nil
+	}
+	if pc+4 > uint32(len(m.Mem)) {
+		return isa.Inst{}, &TrapError{pc, "instruction fetch out of bounds"}
+	}
+	in := isa.Decode(getWord(m.Mem, pc))
+	if idx >= 0 && idx < len(m.icache) {
+		m.icache[idx] = cachedInst{valid: true, inst: in}
+	}
+	return in, nil
+}
+
+// Run executes until HALT, a trap, or the instruction limit.
+func (m *Machine) Run() error {
+	limit := m.MaxInstructions
+	if limit == 0 {
+		limit = DefaultMaxInstructions
+	}
+	for !m.Halted {
+		if m.Instructions >= limit {
+			return fmt.Errorf("%w (%d instructions, pc=%#x)", ErrInstructionLimit, m.Instructions, m.PC)
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step executes a single instruction (or a hook entry).
+func (m *Machine) Step() error {
+	pc := m.PC
+	if m.Hook != nil {
+		if lo, hi := m.Hook.Range(); pc >= lo && pc < hi {
+			return m.Hook.Enter(m)
+		}
+	}
+	in, err := m.fetch(pc)
+	if err != nil {
+		return err
+	}
+	m.icacheAccess(pc)
+	if m.Profile != nil {
+		if idx := int(pc-objfile.TextBase) / isa.WordSize; idx >= 0 && idx < len(m.Profile) {
+			m.Profile[idx]++
+		}
+	}
+	next, err := m.ExecInst(in, pc)
+	if err != nil {
+		return err
+	}
+	m.PC = next
+	return nil
+}
+
+// ExecInst executes one decoded instruction as if it were located at pc,
+// updating registers, memory, cycle counts, and halt state, and returns the
+// address of the next instruction. It is the semantic core of Step, and is
+// also used by the interpret-in-place runtime (which executes compressed
+// instructions at virtual addresses without materializing them in memory).
+func (m *Machine) ExecInst(in isa.Inst, pc uint32) (uint32, error) {
+	m.Instructions++
+	next := pc + isa.WordSize
+
+	switch in.Format {
+	case isa.FormatPal:
+		redirected, err := m.syscall(in.Func)
+		if err != nil {
+			return 0, err
+		}
+		m.Cycles += CostSyscall
+		if m.Halted || redirected {
+			return m.PC, nil
+		}
+	case isa.FormatMem:
+		addr := uint32(m.Reg[in.RB] + in.Disp)
+		switch in.Op {
+		case isa.OpLDA:
+			m.setReg(in.RA, m.Reg[in.RB]+in.Disp)
+			m.Cycles += CostOp
+		case isa.OpLDAH:
+			m.setReg(in.RA, m.Reg[in.RB]+in.Disp<<16)
+			m.Cycles += CostOp
+		case isa.OpLDW:
+			v, err := m.ReadWord(addr)
+			if err != nil {
+				return 0, err
+			}
+			m.setReg(in.RA, int32(v))
+			m.Cycles += CostMem
+		case isa.OpSTW:
+			if err := m.WriteWord(addr, uint32(m.Reg[in.RA])); err != nil {
+				return 0, err
+			}
+			m.Cycles += CostMem
+		case isa.OpLDB:
+			if addr >= uint32(len(m.Mem)) {
+				return 0, &TrapError{pc, fmt.Sprintf("byte read out of bounds at %#x", addr)}
+			}
+			m.setReg(in.RA, int32(m.Mem[addr]))
+			m.Cycles += CostMem
+		case isa.OpSTB:
+			if addr >= uint32(len(m.Mem)) {
+				return 0, &TrapError{pc, fmt.Sprintf("byte write out of bounds at %#x", addr)}
+			}
+			m.Mem[addr] = byte(m.Reg[in.RA])
+			if idx := int(addr&^3-objfile.TextBase) / isa.WordSize; idx >= 0 && idx < len(m.icache) {
+				m.icache[idx].valid = false
+			}
+			m.Cycles += CostMem
+		}
+	case isa.FormatBranch:
+		taken := true
+		switch in.Op {
+		case isa.OpBSRX:
+			// Virtual opcode: legal only inside compressed streams.
+			return 0, &TrapError{pc, "virtual opcode BSRX in executable memory"}
+		case isa.OpBR, isa.OpBSR:
+			m.setReg(in.RA, int32(next))
+		case isa.OpBEQ:
+			taken = m.Reg[in.RA] == 0
+		case isa.OpBNE:
+			taken = m.Reg[in.RA] != 0
+		case isa.OpBLT:
+			taken = m.Reg[in.RA] < 0
+		case isa.OpBLE:
+			taken = m.Reg[in.RA] <= 0
+		case isa.OpBGT:
+			taken = m.Reg[in.RA] > 0
+		case isa.OpBGE:
+			taken = m.Reg[in.RA] >= 0
+		}
+		if taken {
+			next = uint32(int64(next) + int64(in.Disp)*isa.WordSize)
+			m.Cycles += CostBranchTaken
+		} else {
+			m.Cycles += CostBranchNotTaken
+		}
+	case isa.FormatOpReg, isa.FormatOpLit:
+		var b int32
+		if in.Format == isa.FormatOpLit {
+			b = int32(in.Lit)
+		} else {
+			b = m.Reg[in.RB]
+		}
+		v, err := m.operate(pc, in.Op, in.Func, m.Reg[in.RA], b)
+		if err != nil {
+			return 0, err
+		}
+		m.setReg(in.RC, v)
+		m.Cycles += CostOp
+	case isa.FormatJump:
+		if in.Op != isa.OpJump {
+			return 0, &TrapError{pc, "virtual opcode JSRX in executable memory"}
+		}
+		target := uint32(m.Reg[in.RB]) &^ 3
+		m.setReg(in.RA, int32(next))
+		next = target
+		m.Cycles += CostJump
+	case isa.FormatIllegal:
+		return 0, &TrapError{pc, fmt.Sprintf("illegal instruction %#08x", isa.Encode(in))}
+	}
+	return next, nil
+}
+
+func (m *Machine) setReg(r uint32, v int32) {
+	if r != isa.RegZero {
+		m.Reg[r] = v
+	}
+}
+
+func (m *Machine) operate(pc, op, fn uint32, a, b int32) (int32, error) {
+	boolVal := func(cond bool) int32 {
+		if cond {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case isa.OpIntA:
+		switch fn {
+		case isa.FnADD:
+			return a + b, nil
+		case isa.FnSUB:
+			return a - b, nil
+		case isa.FnCMPEQ:
+			return boolVal(a == b), nil
+		case isa.FnCMPLT:
+			return boolVal(a < b), nil
+		case isa.FnCMPLE:
+			return boolVal(a <= b), nil
+		case isa.FnCMPULT:
+			return boolVal(uint32(a) < uint32(b)), nil
+		case isa.FnCMPULE:
+			return boolVal(uint32(a) <= uint32(b)), nil
+		}
+	case isa.OpIntL:
+		switch fn {
+		case isa.FnAND:
+			return a & b, nil
+		case isa.FnBIC:
+			return a &^ b, nil
+		case isa.FnBIS:
+			return a | b, nil
+		case isa.FnORNOT:
+			return a | ^b, nil
+		case isa.FnXOR:
+			return a ^ b, nil
+		case isa.FnEQV:
+			return a ^ ^b, nil
+		}
+	case isa.OpIntS:
+		sh := uint32(b) & 31
+		switch fn {
+		case isa.FnSLL:
+			return a << sh, nil
+		case isa.FnSRL:
+			return int32(uint32(a) >> sh), nil
+		case isa.FnSRA:
+			return a >> sh, nil
+		}
+	case isa.OpIntM:
+		switch fn {
+		case isa.FnMUL:
+			return int32(int64(a) * int64(b)), nil
+		case isa.FnMULH:
+			return int32(int64(a) * int64(b) >> 32), nil
+		case isa.FnDIV:
+			if b == 0 {
+				return 0, &TrapError{pc, "integer division by zero"}
+			}
+			return a / b, nil
+		case isa.FnMOD:
+			if b == 0 {
+				return 0, &TrapError{pc, "integer remainder by zero"}
+			}
+			return a % b, nil
+		}
+	}
+	return 0, &TrapError{pc, fmt.Sprintf("unknown operate op=%#x func=%#x", op, fn)}
+}
+
+// syscall executes a Pal-format system call. It reports whether control was
+// redirected (longjmp), in which case m.PC is already final.
+func (m *Machine) syscall(fn uint32) (redirected bool, err error) {
+	switch fn {
+	case isa.SysHALT:
+		m.Halted = true
+		m.Status = m.Reg[isa.RegA0]
+	case isa.SysGETC:
+		if m.inPos < len(m.Input) {
+			m.Reg[isa.RegV0] = int32(m.Input[m.inPos])
+			m.inPos++
+		} else {
+			m.Reg[isa.RegV0] = -1
+		}
+	case isa.SysPUTC:
+		m.Output = append(m.Output, byte(m.Reg[isa.RegA0]))
+		if m.StackCheck {
+			m.SPTrace = append(m.SPTrace, m.Reg[isa.RegSP])
+		}
+	case isa.SysSETJMP:
+		m.jmp = &jmpState{reg: m.Reg, pc: m.PC + isa.WordSize, set: true}
+		m.Reg[isa.RegV0] = 0
+	case isa.SysLNGJMP:
+		if m.jmp == nil || !m.jmp.set {
+			return false, &TrapError{m.PC, "longjmp without setjmp"}
+		}
+		m.Reg = m.jmp.reg
+		m.Reg[isa.RegV0] = 1
+		m.PC = m.jmp.pc
+		return true, nil
+	case isa.SysIMB:
+		// Architectural instruction-memory barrier; the decode cache is
+		// already invalidated on writes, so this only costs cycles.
+		m.Cycles += 50
+	default:
+		return false, &TrapError{m.PC, fmt.Sprintf("unknown syscall %d", fn)}
+	}
+	return false, nil
+}

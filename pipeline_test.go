@@ -1,0 +1,167 @@
+package repro_test
+
+// End-to-end pipeline integration test over serialized artifacts: the same
+// flow as the command-line tools (em-as → squeeze → em-run -profile →
+// squash → em-run), with every stage round-tripped through its on-disk
+// format, and behavioural equivalence checked at each step.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/mediabench"
+	"repro/internal/objfile"
+	"repro/internal/profile"
+	"repro/internal/squeeze"
+	"repro/internal/vm"
+)
+
+func TestFilePipelineEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	spec, ok := mediabench.SpecByName("g721_dec")
+	if !ok {
+		t.Fatal("benchmark missing")
+	}
+	spec.ProfBytes = 15000
+	spec.TimeBytes = 12000
+	spec.TriggerRate = 0.01
+
+	// em-as: source → object file.
+	srcPath := filepath.Join(dir, "prog.s")
+	if err := os.WriteFile(srcPath, []byte(spec.Generate()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := os.ReadFile(srcPath)
+	obj, err := asm.Assemble(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	objPath := filepath.Join(dir, "prog.o")
+	writeObj(t, objPath, obj)
+
+	// squeeze: object → compacted object.
+	obj = readObj(t, objPath)
+	p, err := cfg.Build(obj, "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := squeeze.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	sqObj, err := cfg.Lower(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sqPath := filepath.Join(dir, "prog.sq.o")
+	writeObj(t, sqPath, sqObj)
+
+	// em-run -profile: execute the squeezed object, write the profile.
+	sqObj = readObj(t, sqPath)
+	im, err := objfile.Link("main", sqObj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := vm.New(im, spec.ProfilingInput())
+	m.EnableProfile()
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	profPath := filepath.Join(dir, "prog.prof")
+	var pbuf bytes.Buffer
+	if _, err := profile.Counts(m.Profile).WriteTo(&pbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(profPath, pbuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// squash: object + profile → squashed image file.
+	pdata, _ := os.ReadFile(profPath)
+	counts, err := profile.ReadCounts(bytes.NewReader(pdata))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := core.DefaultConfig()
+	conf.Theta = 0.001
+	out, err := core.Squash(readObj(t, sqPath), counts, conf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exePath := filepath.Join(dir, "prog.sqz.exe")
+	var ibuf bytes.Buffer
+	if _, err := out.Image.WriteTo(&ibuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(exePath, ibuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// em-run: execute both and compare byte-for-byte.
+	timing := spec.TimingInput()
+	base := vm.New(im, timing)
+	if err := base.Run(); err != nil {
+		t.Fatal(err)
+	}
+	idata, _ := os.ReadFile(exePath)
+	sqIm, err := objfile.ReadImage(bytes.NewReader(idata))
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := core.UnmarshalMeta(sqIm.Meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := core.NewRuntime(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq := vm.New(sqIm, timing)
+	rt.Install(sq)
+	if err := sq.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(base.Output) != string(sq.Output) {
+		t.Fatal("pipeline output differs from baseline after file round trips")
+	}
+	if base.Status != sq.Status {
+		t.Fatalf("exit status differs: %d vs %d", base.Status, sq.Status)
+	}
+	if rt.Stats.Decompressions == 0 {
+		t.Error("squashed image never decompressed anything")
+	}
+	if out.Stats.Reduction() <= 0 {
+		t.Errorf("no size reduction: %+v", out.Stats)
+	}
+	t.Logf("pipeline: %d -> %d bytes (%.1f%%), %d decompressions, output %d bytes",
+		out.Stats.InputBytes, out.Stats.SquashedBytes, 100*out.Stats.Reduction(),
+		rt.Stats.Decompressions, len(sq.Output))
+}
+
+func writeObj(t *testing.T, path string, obj *objfile.Object) {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := obj.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readObj(t *testing.T, path string) *objfile.Object {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := objfile.ReadObject(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
