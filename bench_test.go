@@ -438,3 +438,33 @@ func BenchmarkICacheStats(b *testing.B) {
 		}
 	}
 }
+
+// squashMatrixBench runs the full benchmark × θ squash matrix at a fixed
+// worker count. The two variants below share it so that
+//
+//	go test -bench=BenchmarkSquash -benchtime=1x
+//
+// reports the serial-versus-parallel wall-clock of the identical workload;
+// the determinism tests guarantee both produce the same images.
+func squashMatrixBench(b *testing.B, workers int) {
+	s := benchSuite(b)
+	thetas := []float64{0, 0.0001, 0.01}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		outs, err := experiments.SquashMatrix(s, thetas, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(outs) != len(s.Benches)*len(thetas) {
+			b.Fatalf("matrix has %d cells", len(outs))
+		}
+	}
+}
+
+// BenchmarkSquashMatrixWorkers1 is the serial baseline for the parallel
+// pipeline: every matrix cell and every squash phase runs on one goroutine.
+func BenchmarkSquashMatrixWorkers1(b *testing.B) { squashMatrixBench(b, 1) }
+
+// BenchmarkSquashMatrixParallel runs the same matrix with one worker per
+// CPU at both levels (matrix cells and per-cell squash phases).
+func BenchmarkSquashMatrixParallel(b *testing.B) { squashMatrixBench(b, 0) }

@@ -22,6 +22,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "input scale: 1.0 = full paper-sized runs, 0.05 = quick")
 	out := flag.String("o", "", "also write the report to this file")
 	list := flag.Bool("list", false, "list experiment names and exit")
+	workers := flag.Int("workers", 0, "worker goroutines for suite preparation and matrix cells (0 = one per CPU, 1 = serial); results are identical at any count")
 	flag.Parse()
 
 	if *list {
@@ -30,7 +31,7 @@ func main() {
 	}
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "preparing suite (scale %.2f): generate, assemble, squeeze, profile...\n", *scale)
-	suite, err := experiments.Load(*scale)
+	suite, err := experiments.LoadWorkers(*scale, *workers)
 	if err != nil {
 		fail(err)
 	}

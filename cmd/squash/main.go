@@ -35,6 +35,7 @@ func main() {
 	mtf := flag.Bool("mtf", false, "use the move-to-front stream coder variant")
 	ctStubs := flag.Bool("compile-time-stubs", false, "materialize restore stubs statically (ablation)")
 	stubCap := flag.Int("stub-capacity", 16, "runtime restore-stub slots")
+	workers := flag.Int("workers", 0, "worker goroutines for the squash pipeline (0 = one per CPU, 1 = serial); output is byte-identical at any count")
 	flag.Parse()
 	if flag.NArg() != 1 || *profIn == "" {
 		fmt.Fprintln(os.Stderr, "usage: squash -profile prog.prof [flags] prog.o")
@@ -68,6 +69,7 @@ func main() {
 		Interpret:               *interpret,
 		CompileTimeRestoreStubs: *ctStubs,
 		StubCapacity:            *stubCap,
+		Workers:                 *workers,
 	}
 	conf.Regions.K = *k
 	conf.Regions.Gamma = *gamma

@@ -14,6 +14,7 @@ package buffersafe
 
 import (
 	"repro/internal/cfg"
+	"repro/internal/parallel"
 )
 
 // Result maps function names to buffer-safety.
@@ -42,6 +43,22 @@ func (r *Result) SafeCount() int {
 // that does not make them unsafe by itself — only being unable to enumerate
 // *their* callees does).
 func Analyze(p *cfg.Program, compressed map[string]bool) *Result {
+	return AnalyzeWorkers(p, compressed, 1)
+}
+
+// funcScan is the per-function slice of the call graph, computed
+// independently per function and merged in function order.
+type funcScan struct {
+	callees            map[string]bool
+	hasUnknownIndirect bool
+	ownsCompressed     bool
+}
+
+// AnalyzeWorkers is Analyze with the per-function call-graph scan fanned
+// out over the given worker count (<= 0 means one per CPU). Each function's
+// scan touches only that function's blocks, and the merged graph is a set
+// union, so the result is identical at any worker count.
+func AnalyzeWorkers(p *cfg.Program, compressed map[string]bool, workers int) *Result {
 	owner := map[string]string{} // block label -> function name
 	for _, f := range p.Funcs {
 		for _, b := range f.Blocks {
@@ -50,41 +67,39 @@ func Analyze(p *cfg.Program, compressed map[string]bool) *Result {
 	}
 
 	// Call graph and "branches into" edges, function-level.
-	callees := map[string]map[string]bool{} // caller fn -> callee fns
-	hasUnknownIndirect := map[string]bool{}
-	for _, f := range p.Funcs {
-		callees[f.Name] = map[string]bool{}
+	scans, _ := parallel.Map(len(p.Funcs), workers, func(fi int) (funcScan, error) {
+		f := p.Funcs[fi]
+		s := funcScan{callees: map[string]bool{}}
 		for _, b := range f.Blocks {
 			for _, c := range b.Calls() {
 				if c.Callee == "" {
-					hasUnknownIndirect[f.Name] = true
+					s.hasUnknownIndirect = true
 					continue
 				}
-				callees[f.Name][owner[c.Callee]] = true
+				s.callees[owner[c.Callee]] = true
 			}
 			succs, known := b.Succs()
 			if !known {
-				hasUnknownIndirect[f.Name] = true
+				s.hasUnknownIndirect = true
 			}
-			for _, s := range succs {
-				if o := owner[s]; o != f.Name {
+			for _, succ := range succs {
+				if o := owner[succ]; o != f.Name {
 					// Inter-function branch (possible after rewriting).
-					callees[f.Name][o] = true
+					s.callees[o] = true
 				}
 			}
-		}
-	}
-
-	unsafe := map[string]bool{}
-	for _, f := range p.Funcs {
-		if hasUnknownIndirect[f.Name] {
-			unsafe[f.Name] = true
-		}
-		for _, b := range f.Blocks {
 			if compressed[b.Label] {
-				unsafe[f.Name] = true
-				break
+				s.ownsCompressed = true
 			}
+		}
+		return s, nil
+	})
+	callees := map[string]map[string]bool{} // caller fn -> callee fns
+	unsafe := map[string]bool{}
+	for fi, f := range p.Funcs {
+		callees[f.Name] = scans[fi].callees
+		if scans[fi].hasUnknownIndirect || scans[fi].ownsCompressed {
+			unsafe[f.Name] = true
 		}
 	}
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/objfile"
+	"repro/internal/parallel"
 )
 
 // Build lifts a relocatable object into a Program. The entry argument names
@@ -66,11 +67,16 @@ func Build(obj *objfile.Object, entry string) (*Program, error) {
 		textRelocAt[w] = r
 	}
 
-	// Decode all instructions.
+	// Decode all instructions. Decoding is per word, so large texts are
+	// split into chunks across CPUs; each chunk writes its own slice range,
+	// and small inputs stay on the fast inline path.
 	insts := make([]isa.Inst, nWords)
-	for i, w := range obj.Text {
-		insts[i] = isa.Decode(w)
-	}
+	_ = parallel.ForEachChunk(nWords, 0, 16384, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			insts[i] = isa.Decode(obj.Text[i])
+		}
+		return nil
+	})
 
 	// Leaders: function starts, every text symbol, instructions following
 	// block-ending instructions.

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/objfile"
+	"repro/internal/testprog"
+	"repro/internal/vm"
+)
+
+// squashDigest squashes and hashes everything a worker-count bug could
+// perturb: the linked image bytes and the serialized runtime metadata
+// (offset table, compressed blob, code tables).
+func squashDigest(t *testing.T, obj *objfile.Object, prof []uint64, conf Config) [32]byte {
+	t.Helper()
+	out, err := Squash(obj, prof, conf)
+	if err != nil {
+		t.Fatalf("squash (workers=%d): %v", conf.Workers, err)
+	}
+	var buf bytes.Buffer
+	if _, err := out.Image.WriteTo(&buf); err != nil {
+		t.Fatalf("image serialize: %v", err)
+	}
+	meta, err := out.Meta.MarshalBinary()
+	if err != nil {
+		t.Fatalf("meta serialize: %v", err)
+	}
+	h := sha256.New()
+	h.Write(buf.Bytes())
+	h.Write(meta)
+	var d [32]byte
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// TestSquashDeterministicAcrossWorkers is the tentpole guarantee: the
+// parallel pipeline must produce byte-identical squashed images at every
+// worker count, and repeated runs at the same count must agree (no map
+// iteration or scheduling order leaking into the output).
+func TestSquashDeterministicAcrossWorkers(t *testing.T) {
+	confs := []Config{DefaultConfig(), DefaultConfig(), DefaultConfig()}
+	confs[1].Theta = 0.01
+	confs[1].MTF = true
+	confs[2].Theta = 1
+	confs[2].Regions.K = 128
+	confs[2].CompileTimeRestoreStubs = true
+
+	nSeeds := int64(6)
+	if testing.Short() {
+		nSeeds = 2
+	}
+	for seed := int64(0); seed < nSeeds; seed++ {
+		src := testprog.Random(seed * 7)
+		obj, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		im, err := objfile.Link("main", obj)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prof := vm.New(im, []byte("determinism determinism"))
+		prof.EnableProfile()
+		if err := prof.Run(); err != nil {
+			t.Fatalf("seed %d: profile run: %v", seed, err)
+		}
+		for ci, conf := range confs {
+			conf.Workers = 1
+			want := squashDigest(t, obj, prof.Profile, conf)
+			for _, workers := range []int{1, 2, 8} {
+				for run := 0; run < 2; run++ {
+					conf.Workers = workers
+					if got := squashDigest(t, obj, prof.Profile, conf); got != want {
+						t.Fatalf("seed %d conf %d: workers=%d run %d diverged from serial",
+							seed, ci, workers, run)
+					}
+				}
+			}
+		}
+	}
+}

@@ -5,9 +5,9 @@ import (
 	"sort"
 
 	"repro/internal/cfg"
-	"repro/internal/huffman"
 	"repro/internal/isa"
 	"repro/internal/objfile"
+	"repro/internal/parallel"
 	"repro/internal/regions"
 	"repro/internal/streamcomp"
 )
@@ -140,15 +140,21 @@ func (e *encoder) retarget(label string) string {
 
 // run executes the layout, transform, encode, and accounting phases.
 func (e *encoder) run(stats *Stats) (*Output, error) {
-	// Phase 1: region layouts (address-independent).
+	// Phase 1: region layouts (address-independent). Regions are mutually
+	// independent here, so the layouts fan out; each writes only its own
+	// slot, indexed by region ID, so the merged result is order-free.
 	e.layouts = make([]*regionLayout, len(e.res.Regions))
-	for _, r := range e.res.Regions {
+	if err := parallel.ForEach(len(e.res.Regions), e.conf.Workers, func(i int) error {
+		r := e.res.Regions[i]
 		lay := e.layoutRegion(r)
 		if lay.words > e.conf.Regions.K/isa.WordSize {
-			return nil, fmt.Errorf("region %d lays out to %d words, buffer holds %d",
+			return fmt.Errorf("region %d lays out to %d words, buffer holds %d",
 				r.ID, lay.words, e.conf.Regions.K/isa.WordSize)
 		}
 		e.layouts[r.ID] = lay
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	// Phase 2: build and link the output program.
@@ -170,24 +176,28 @@ func (e *encoder) run(stats *Stats) (*Output, error) {
 	}
 
 	// Phase 3: build final instruction sequences per region and compress.
+	// Sequence building reads only the fixed layouts and symbol table, so
+	// regions fan out again; the split-stream coder then counts stream
+	// frequencies in parallel, builds each canonical-Huffman codebook once
+	// (shared read-only by every encoder), and compresses the regions
+	// concurrently into private bit streams concatenated in region order.
 	seqs := make([][]isa.Inst, len(e.res.Regions))
-	for _, r := range e.res.Regions {
+	if err := parallel.ForEach(len(e.res.Regions), e.conf.Workers, func(i int) error {
+		r := e.res.Regions[i]
 		seq, err := e.buildSeq(r, addrOf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		seqs[r.ID] = seq
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	comp := streamcomp.Train(seqs, streamcomp.Options{MTF: e.conf.MTF})
-	var w huffman.BitWriter
-	offsets := make([]uint32, len(seqs))
-	for id, seq := range seqs {
-		offsets[id] = uint32(w.Len())
-		if err := comp.Compress(&w, seq); err != nil {
-			return nil, fmt.Errorf("region %d: %w", id, err)
-		}
+	comp := streamcomp.Train(seqs, streamcomp.Options{MTF: e.conf.MTF, Workers: e.conf.Workers})
+	blob, offsets, err := comp.CompressAll(seqs, e.conf.Workers)
+	if err != nil {
+		return nil, err
 	}
-	blob := w.Bytes()
 	tables, err := comp.MarshalBinary()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/objfile"
+	"repro/internal/regions"
+	"repro/internal/testprog"
+	"repro/internal/vm"
+)
+
+// FuzzSquash is the native fuzz entry for `go test -fuzz=FuzzSquash`: the
+// fuzzer picks a program seed, a config word, and a run input, and the
+// target checks that the squashed binary reproduces the baseline behaviour.
+// The CI fuzz-smoke job runs it for a short fixed budget.
+func FuzzSquash(f *testing.F) {
+	f.Add(int64(0), uint16(0), []byte(""))
+	f.Add(int64(3), uint16(0x5a5a), []byte("squash me 123"))
+	f.Add(int64(17), uint16(0xffff), []byte{0, 1, 2, 3, 250, 251, 252, 253})
+	f.Fuzz(func(t *testing.T, seed int64, confBits uint16, input []byte) {
+		if len(input) > 256 {
+			input = input[:256]
+		}
+		src := testprog.Random(seed)
+		obj, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("seed %d: assemble: %v", seed, err)
+		}
+		im, err := objfile.Link("main", obj)
+		if err != nil {
+			t.Fatalf("seed %d: link: %v", seed, err)
+		}
+		prof := vm.New(im, input)
+		prof.EnableProfile()
+		if err := prof.Run(); err != nil {
+			t.Fatalf("seed %d: profile run: %v", seed, err)
+		}
+
+		conf := DefaultConfig()
+		conf.Theta = []float64{0, 0.001, 0.5, 1}[confBits&3]
+		conf.Regions.K = []int{64, 96, 128, 512}[confBits>>2&3]
+		conf.Regions.Pack = confBits>>4&1 == 0
+		conf.BufferSafe = confBits>>5&1 == 0
+		conf.MTF = confBits>>6&1 == 1
+		conf.CompileTimeRestoreStubs = confBits>>7&1 == 1
+		conf.Interpret = confBits>>8&1 == 1
+		if confBits>>9&1 == 1 {
+			conf.Regions.Strategy = regions.StrategyLoopAware
+		}
+		conf.Workers = []int{1, 0, 2, 8}[confBits>>10&3]
+		out, err := Squash(obj, prof.Profile, conf)
+		if err != nil {
+			t.Fatalf("seed %d: squash (%+v): %v", seed, conf, err)
+		}
+
+		base := vm.New(im, input)
+		base.StackCheck = true
+		if err := base.Run(); err != nil {
+			t.Fatalf("seed %d: baseline: %v", seed, err)
+		}
+		rt, err := NewRuntime(out.Meta)
+		if err != nil {
+			t.Fatalf("seed %d: runtime: %v", seed, err)
+		}
+		sq := vm.New(out.Image, input)
+		sq.StackCheck = true
+		rt.Install(sq)
+		if err := sq.Run(); err != nil {
+			t.Fatalf("seed %d conf %+v: squashed run: %v", seed, conf, err)
+		}
+		if string(base.Output) != string(sq.Output) || base.Status != sq.Status {
+			t.Fatalf("seed %d conf %+v: behaviour diverged", seed, conf)
+		}
+	})
+}

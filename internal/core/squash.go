@@ -7,6 +7,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/isa"
 	"repro/internal/objfile"
+	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/regions"
 	"repro/internal/unswitch"
@@ -44,6 +45,13 @@ type Config struct {
 	// StubCapacity is the number of runtime restore-stub slots. The paper
 	// observed at most 9 live stubs even at θ = 0.01.
 	StubCapacity int
+	// Workers bounds the goroutines the squash pipeline may use for its
+	// per-function and per-region phases (AT scan, buffer-safe analysis,
+	// region layout, sequence building, stream compression). <= 0 means
+	// one per CPU; 1 forces a fully serial run. The output image is
+	// byte-identical at every worker count — results are always merged in
+	// deterministic function/region order.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's operating point.
@@ -150,17 +158,20 @@ func Squash(obj *objfile.Object, counts profile.Counts, conf Config) (*Output, e
 	if err := p.AttachProfile(counts); err != nil {
 		return nil, fmt.Errorf("squash: %w", err)
 	}
-	for _, f := range p.Funcs {
-		for _, b := range f.Blocks {
+	if err := parallel.ForEach(len(p.Funcs), conf.Workers, func(fi int) error {
+		for _, b := range p.Funcs[fi].Blocks {
 			for _, in := range b.Insts {
 				// System calls are exempt: setjmp/longjmp capture the whole
 				// register file, including AT, but nothing observes AT's
 				// value, so stub clobbers remain invisible.
 				if !in.Raw && in.Format != isa.FormatPal && cfg.TouchesReg(in, isa.RegAT) {
-					return nil, fmt.Errorf("squash: block %s uses reserved register AT (r28)", b.Label)
+					return fmt.Errorf("squash: block %s uses reserved register AT (r28)", b.Label)
 				}
 			}
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	stats := Stats{InputBytes: len(obj.Text) * isa.WordSize}
@@ -176,6 +187,7 @@ func Squash(obj *objfile.Object, counts profile.Counts, conf Config) (*Output, e
 		cold = profile.IdentifyCold(p, conf.Theta)
 	}
 
+	conf.Regions.Workers = conf.Workers
 	res, preds, err := regions.Partition(p, cold.Cold, conf.Regions)
 	if err != nil {
 		return nil, fmt.Errorf("squash: %w", err)
@@ -205,7 +217,7 @@ func Squash(obj *objfile.Object, counts profile.Counts, conf Config) (*Output, e
 	}
 	var bs *buffersafe.Result
 	if conf.BufferSafe {
-		bs = buffersafe.Analyze(p, compressed)
+		bs = buffersafe.AnalyzeWorkers(p, compressed, conf.Workers)
 		safe, total := buffersafe.CallSiteStats(p, compressed, bs)
 		stats.BufferSafeCalls, stats.CallsInRegions = safe, total
 	} else {

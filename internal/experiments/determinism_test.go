@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// benchDigest squashes one benchmark and hashes the image plus the runtime
+// metadata, the full byte surface a nondeterministic pipeline could perturb.
+func benchDigest(t *testing.T, b *Bench, conf core.Config) [32]byte {
+	t.Helper()
+	out, err := b.Squash(conf)
+	if err != nil {
+		t.Fatalf("%s: squash (workers=%d): %v", b.Spec.Name, conf.Workers, err)
+	}
+	var buf bytes.Buffer
+	if _, err := out.Image.WriteTo(&buf); err != nil {
+		t.Fatalf("%s: image serialize: %v", b.Spec.Name, err)
+	}
+	meta, err := out.Meta.MarshalBinary()
+	if err != nil {
+		t.Fatalf("%s: meta serialize: %v", b.Spec.Name, err)
+	}
+	h := sha256.New()
+	h.Write(buf.Bytes())
+	h.Write(meta)
+	var d [32]byte
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// TestSquashDeterministicAcrossWorkersMediaBench is the CI determinism
+// gate on the real benchmark suite: every MediaBench program squashes to a
+// byte-identical image at workers 1, 2, and 8, and two repeated runs at
+// each count agree.
+func TestSquashDeterministicAcrossWorkersMediaBench(t *testing.T) {
+	s := quickSuite(t)
+	for _, b := range s.Benches {
+		b := b
+		t.Run(b.Spec.Name, func(t *testing.T) {
+			conf := core.DefaultConfig()
+			conf.Theta = 0.001
+			conf.StubCapacity = 64
+			conf.Workers = 1
+			want := benchDigest(t, b, conf)
+			for _, workers := range []int{1, 2, 8} {
+				for run := 0; run < 2; run++ {
+					conf.Workers = workers
+					if got := benchDigest(t, b, conf); got != want {
+						t.Fatalf("workers=%d run %d: image diverged from serial squash", workers, run)
+					}
+				}
+			}
+		})
+	}
+}

@@ -14,12 +14,14 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/asm"
 	"repro/internal/cfg"
 	"repro/internal/core"
 	"repro/internal/mediabench"
 	"repro/internal/objfile"
+	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/squeeze"
 	"repro/internal/vm"
@@ -34,6 +36,8 @@ type Bench struct {
 	SqImage      *objfile.Image
 	Profile      profile.Counts
 
+	timingOnce   sync.Once
+	timingErr    error
 	timingOut    []byte
 	timingCycles uint64
 }
@@ -47,20 +51,54 @@ type Suite struct {
 	// Scale shrinks the profiling/timing inputs for quick runs; 1.0 is the
 	// full configuration.
 	Scale float64
+	// Workers bounds the goroutines used to run experiment matrix cells
+	// (benchmark × θ × variant) and the squash pipeline inside each cell;
+	// <= 0 means one per CPU, 1 forces serial runs. Every table is
+	// assembled in fixed cell order, so reports are identical at any
+	// worker count.
+	Workers int
 }
 
 // Load prepares the full suite at the given input scale (1.0 = full; the
-// quick test configuration uses ~0.05).
-func Load(scale float64) (*Suite, error) {
-	s := &Suite{Scale: scale}
-	for _, spec := range mediabench.Specs() {
-		b, err := prepare(spec, scale)
+// quick test configuration uses ~0.05), using one worker per CPU.
+func Load(scale float64) (*Suite, error) { return LoadWorkers(scale, 0) }
+
+// LoadWorkers prepares the suite with benchmark preparation (generate,
+// assemble, squeeze, link, profile) fanned out across the given worker
+// count; the suite's experiment runs then reuse the same budget. Each
+// benchmark's preparation is self-contained, so the suite is identical at
+// any worker count.
+func LoadWorkers(scale float64, workers int) (*Suite, error) {
+	specs := mediabench.Specs()
+	benches, err := parallel.Map(len(specs), workers, func(i int) (*Bench, error) {
+		b, err := prepare(specs[i], scale)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", spec.Name, err)
+			return nil, fmt.Errorf("experiments: %s: %w", specs[i].Name, err)
 		}
-		s.Benches = append(s.Benches, b)
+		return b, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return s, nil
+	return &Suite{Benches: benches, Scale: scale, Workers: workers}, nil
+}
+
+// conf returns the paper's default configuration wired to the suite's
+// worker budget.
+func (s *Suite) conf() core.Config {
+	c := core.DefaultConfig()
+	c.Workers = s.Workers
+	return c
+}
+
+// warmBaselines runs every benchmark's baseline timing in parallel so the
+// per-bench caches are filled before matrix cells start comparing against
+// them.
+func (s *Suite) warmBaselines() error {
+	return parallel.ForEach(len(s.Benches), s.Workers, func(i int) error {
+		_, _, err := s.Benches[i].BaselineTiming()
+		return err
+	})
 }
 
 func prepare(spec mediabench.Spec, scale float64) (*Bench, error) {
@@ -108,15 +146,20 @@ func (b *Bench) Squash(conf core.Config) (*core.Output, error) {
 	return core.Squash(b.SqObj, b.Profile, conf)
 }
 
-// BaselineTiming runs the squeezed binary on the timing input (cached).
+// BaselineTiming runs the squeezed binary on the timing input (cached; safe
+// for concurrent use by parallel matrix cells).
 func (b *Bench) BaselineTiming() (out []byte, cycles uint64, err error) {
-	if b.timingOut == nil {
+	b.timingOnce.Do(func() {
 		m := vm.New(b.SqImage, b.Spec.TimingInput())
 		if err := m.Run(); err != nil {
-			return nil, 0, err
+			b.timingErr = err
+			return
 		}
 		b.timingOut = m.Output
 		b.timingCycles = m.Cycles
+	})
+	if b.timingErr != nil {
+		return nil, 0, b.timingErr
 	}
 	return b.timingOut, b.timingCycles, nil
 }
@@ -242,22 +285,31 @@ func Fig3(s *Suite, ks []int, thetas []float64) (*Table, error) {
 		t.Header = append(t.Header, fmt.Sprintf("θ=%g", th))
 	}
 	t.Header = append(t.Header, "mean")
-	for _, k := range ks {
+	// One matrix cell per (K, θ, benchmark), fanned across the suite's
+	// workers and collected in flat index order.
+	nB := len(s.Benches)
+	ratios, err := parallel.Map(len(ks)*len(thetas)*nB, s.Workers, func(idx int) (float64, error) {
+		k := ks[idx/(len(thetas)*nB)]
+		th := thetas[idx/nB%len(thetas)]
+		b := s.Benches[idx%nB]
+		conf := s.conf()
+		conf.Theta = th
+		conf.Regions.K = k
+		out, err := b.Squash(conf)
+		if err != nil {
+			return 0, fmt.Errorf("%s K=%d θ=%g: %w", b.Spec.Name, k, th, err)
+		}
+		return float64(out.Stats.SquashedBytes) / float64(out.Stats.InputBytes), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ki, k := range ks {
 		row := []string{itoa(k)}
 		var all []float64
-		for _, th := range thetas {
-			var ratios []float64
-			for _, b := range s.Benches {
-				conf := core.DefaultConfig()
-				conf.Theta = th
-				conf.Regions.K = k
-				out, err := b.Squash(conf)
-				if err != nil {
-					return nil, fmt.Errorf("%s K=%d θ=%g: %w", b.Spec.Name, k, th, err)
-				}
-				ratios = append(ratios, float64(out.Stats.SquashedBytes)/float64(out.Stats.InputBytes))
-			}
-			m := geoMean(ratios)
+		for ti := range thetas {
+			cell := ratios[(ki*len(thetas)+ti)*nB : (ki*len(thetas)+ti+1)*nB]
+			m := geoMean(cell)
 			all = append(all, m)
 			row = append(row, f3(m))
 		}
@@ -277,18 +329,31 @@ func Fig4(s *Suite, thetas []float64) (*Table, error) {
 		Title:  "Figure 4: amount of cold and compressible code vs θ (geo-mean fraction of program)",
 		Header: []string{"θ", "cold", "compressible"},
 	}
-	for _, th := range thetas {
+	nB := len(s.Benches)
+	type frac struct{ cold, comp float64 }
+	cells, err := parallel.Map(len(thetas)*nB, s.Workers, func(idx int) (frac, error) {
+		th := thetas[idx/nB]
+		b := s.Benches[idx%nB]
+		conf := s.conf()
+		conf.Theta = th
+		out, err := b.Squash(conf)
+		if err != nil {
+			return frac{}, err
+		}
+		st := out.Stats
+		return frac{
+			cold: math.Max(float64(st.ColdInsts)/float64(st.TotalInsts), 1e-9),
+			comp: math.Max(float64(st.CompressibleInsts)/float64(st.TotalInsts), 1e-9),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti, th := range thetas {
 		var colds, comps []float64
-		for _, b := range s.Benches {
-			conf := core.DefaultConfig()
-			conf.Theta = th
-			out, err := b.Squash(conf)
-			if err != nil {
-				return nil, err
-			}
-			st := out.Stats
-			colds = append(colds, math.Max(float64(st.ColdInsts)/float64(st.TotalInsts), 1e-9))
-			comps = append(comps, math.Max(float64(st.CompressibleInsts)/float64(st.TotalInsts), 1e-9))
+		for _, c := range cells[ti*nB : (ti+1)*nB] {
+			colds = append(colds, c.cold)
+			comps = append(comps, c.comp)
 		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%g", th), pct(geoMean(colds)), pct(geoMean(comps)),
@@ -320,6 +385,27 @@ func Fig5(s *Suite) *Table {
 	return t
 }
 
+// SquashMatrix squashes every benchmark at every θ (benchmark-major order,
+// paper defaults otherwise) with cells fanned across the given worker count
+// and the same count inside each cell's pipeline; workers <= 0 means one
+// per CPU and 1 forces a fully serial sweep. Outputs are returned in cell
+// order and are byte-identical at any worker count. This is the experiment
+// matrix's hot path and the unit BenchmarkSquashMatrix* measures.
+func SquashMatrix(s *Suite, thetas []float64, workers int) ([]*core.Output, error) {
+	return parallel.Map(len(s.Benches)*len(thetas), workers, func(idx int) (*core.Output, error) {
+		b := s.Benches[idx/len(thetas)]
+		th := thetas[idx%len(thetas)]
+		conf := core.DefaultConfig()
+		conf.Theta = th
+		conf.Workers = workers
+		out, err := b.Squash(conf)
+		if err != nil {
+			return nil, fmt.Errorf("%s θ=%g: %w", b.Spec.Name, th, err)
+		}
+		return out, nil
+	})
+}
+
 // Fig6 reproduces the size-reduction-vs-θ sweep per program.
 func Fig6(s *Suite, thetas []float64) (*Table, error) {
 	t := &Table{
@@ -329,18 +415,16 @@ func Fig6(s *Suite, thetas []float64) (*Table, error) {
 	for _, th := range thetas {
 		t.Header = append(t.Header, fmt.Sprintf("θ=%g", th))
 	}
+	outs, err := SquashMatrix(s, thetas, s.Workers)
+	if err != nil {
+		return nil, err
+	}
 	means := make([]float64, len(thetas))
 	counts := make([]int, len(thetas))
-	for _, b := range s.Benches {
+	for bi, b := range s.Benches {
 		row := []string{b.Spec.Name}
-		for i, th := range thetas {
-			conf := core.DefaultConfig()
-			conf.Theta = th
-			out, err := b.Squash(conf)
-			if err != nil {
-				return nil, err
-			}
-			r := out.Stats.Reduction()
+		for i := range thetas {
+			r := outs[bi*len(thetas)+i].Stats.Reduction()
 			row = append(row, pct(r))
 			means[i] += r
 			counts[i]++
@@ -374,32 +458,48 @@ func Fig7(s *Suite, thetas []float64) (*Table, *Table, error) {
 		size.Header = append(size.Header, fmt.Sprintf("θ=%g", th))
 		timeT.Header = append(timeT.Header, fmt.Sprintf("θ=%g", th))
 	}
-	sizeGeo := make([][]float64, len(thetas))
-	timeGeo := make([][]float64, len(thetas))
-	for _, b := range s.Benches {
-		srow := []string{b.Spec.Name}
-		trow := []string{b.Spec.Name}
+	if err := s.warmBaselines(); err != nil {
+		return nil, nil, err
+	}
+	// Each cell is a squash plus a full timing run on the simulator — the
+	// expensive part of the matrix — so the cells themselves fan out.
+	type rel struct{ size, time float64 }
+	cells, err := parallel.Map(len(s.Benches)*len(thetas), s.Workers, func(idx int) (rel, error) {
+		b := s.Benches[idx/len(thetas)]
+		th := thetas[idx%len(thetas)]
 		baseOut, baseCycles, err := b.BaselineTiming()
 		if err != nil {
-			return nil, nil, err
+			return rel{}, err
 		}
-		for i, th := range thetas {
-			conf := core.DefaultConfig()
-			conf.Theta = th
-			out, err := b.Squash(conf)
-			if err != nil {
-				return nil, nil, err
-			}
-			m, _, err := RunSquashed(out, b.Spec.TimingInput(), baseOut)
-			if err != nil {
-				return nil, nil, fmt.Errorf("%s θ=%g: %w", b.Spec.Name, th, err)
-			}
-			sRel := float64(out.Stats.SquashedBytes) / float64(out.Stats.InputBytes)
-			tRel := float64(m.Cycles) / float64(baseCycles)
-			srow = append(srow, f3(sRel))
-			trow = append(trow, f3(tRel))
-			sizeGeo[i] = append(sizeGeo[i], sRel)
-			timeGeo[i] = append(timeGeo[i], tRel)
+		conf := s.conf()
+		conf.Theta = th
+		out, err := b.Squash(conf)
+		if err != nil {
+			return rel{}, err
+		}
+		m, _, err := RunSquashed(out, b.Spec.TimingInput(), baseOut)
+		if err != nil {
+			return rel{}, fmt.Errorf("%s θ=%g: %w", b.Spec.Name, th, err)
+		}
+		return rel{
+			size: float64(out.Stats.SquashedBytes) / float64(out.Stats.InputBytes),
+			time: float64(m.Cycles) / float64(baseCycles),
+		}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sizeGeo := make([][]float64, len(thetas))
+	timeGeo := make([][]float64, len(thetas))
+	for bi, b := range s.Benches {
+		srow := []string{b.Spec.Name}
+		trow := []string{b.Spec.Name}
+		for i := range thetas {
+			c := cells[bi*len(thetas)+i]
+			srow = append(srow, f3(c.size))
+			trow = append(trow, f3(c.time))
+			sizeGeo[i] = append(sizeGeo[i], c.size)
+			timeGeo[i] = append(timeGeo[i], c.time)
 		}
 		size.Rows = append(size.Rows, srow)
 		timeT.Rows = append(timeT.Rows, trow)
@@ -425,19 +525,28 @@ func GammaStats(s *Suite) (*Table, error) {
 		Title:  "§3: split-stream compression factor γ (compressed bytes / original bytes, θ=1)",
 		Header: []string{"program", "γ plain", "γ with MTF", "tables plain (B)", "tables MTF (B)"},
 	}
-	var plains, mtfs []float64
-	for _, b := range s.Benches {
-		conf := core.DefaultConfig()
+	type pair struct{ plain, mtf *core.Output }
+	cells, err := parallel.Map(len(s.Benches), s.Workers, func(i int) (pair, error) {
+		b := s.Benches[i]
+		conf := s.conf()
 		conf.Theta = 1
 		plain, err := b.Squash(conf)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
 		conf.MTF = true
 		mtf, err := b.Squash(conf)
 		if err != nil {
-			return nil, err
+			return pair{}, err
 		}
+		return pair{plain, mtf}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var plains, mtfs []float64
+	for i, b := range s.Benches {
+		plain, mtf := cells[i].plain, cells[i].mtf
 		plains = append(plains, plain.Stats.CompressionRatio)
 		mtfs = append(mtfs, mtf.Stats.CompressionRatio)
 		t.Rows = append(t.Rows, []string{
@@ -458,13 +567,15 @@ func BufferSafeStats(s *Suite) (*Table, error) {
 		Title:  "§6.1: buffer-safe callees among calls in compressible regions (θ=0)",
 		Header: []string{"program", "safe calls", "total calls", "fraction"},
 	}
+	outs, err := parallel.Map(len(s.Benches), s.Workers, func(i int) (*core.Output, error) {
+		return s.Benches[i].Squash(s.conf())
+	})
+	if err != nil {
+		return nil, err
+	}
 	var fracs []float64
-	for _, b := range s.Benches {
-		out, err := b.Squash(core.DefaultConfig())
-		if err != nil {
-			return nil, err
-		}
-		st := out.Stats
+	for i, b := range s.Benches {
+		st := outs[i].Stats
 		frac := 0.0
 		if st.CallsInRegions > 0 {
 			frac = float64(st.BufferSafeCalls) / float64(st.CallsInRegions)
@@ -488,30 +599,33 @@ func StubStats(s *Suite) (*Table, error) {
 		Title:  "§2.2: restore stub statistics",
 		Header: []string{"program", "max live stubs (θ=0.01)", "static stubs θ=0", "static stubs θ=0.01"},
 	}
-	maxLive := 0
-	var f0s, f1s []float64
-	for _, b := range s.Benches {
-		conf := core.DefaultConfig()
+	if err := s.warmBaselines(); err != nil {
+		return nil, err
+	}
+	type stubRow struct {
+		live   int
+		f0, f1 float64
+	}
+	cells, err := parallel.Map(len(s.Benches), s.Workers, func(i int) (stubRow, error) {
+		b := s.Benches[i]
+		conf := s.conf()
 		conf.Theta = 0.01
 		conf.StubCapacity = 64
 		out, err := b.Squash(conf)
 		if err != nil {
-			return nil, err
+			return stubRow{}, err
 		}
 		baseOut, _, err := b.BaselineTiming()
 		if err != nil {
-			return nil, err
+			return stubRow{}, err
 		}
 		_, rt, err := RunSquashed(out, b.Spec.TimingInput(), baseOut)
 		if err != nil {
-			return nil, err
-		}
-		if rt.Stats.MaxLiveStubs > maxLive {
-			maxLive = rt.Stats.MaxLiveStubs
+			return stubRow{}, err
 		}
 
 		frac := func(theta float64) (float64, error) {
-			c := core.DefaultConfig()
+			c := s.conf()
 			c.Theta = theta
 			c.CompileTimeRestoreStubs = true
 			o, err := b.Squash(c)
@@ -526,16 +640,28 @@ func StubStats(s *Suite) (*Table, error) {
 		}
 		f0, err := frac(0)
 		if err != nil {
-			return nil, err
+			return stubRow{}, err
 		}
 		f1, err := frac(0.01)
 		if err != nil {
-			return nil, err
+			return stubRow{}, err
 		}
-		f0s = append(f0s, f0)
-		f1s = append(f1s, f1)
+		return stubRow{live: rt.Stats.MaxLiveStubs, f0: f0, f1: f1}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	maxLive := 0
+	var f0s, f1s []float64
+	for i, b := range s.Benches {
+		c := cells[i]
+		if c.live > maxLive {
+			maxLive = c.live
+		}
+		f0s = append(f0s, c.f0)
+		f1s = append(f1s, c.f1)
 		t.Rows = append(t.Rows, []string{
-			b.Spec.Name, itoa(rt.Stats.MaxLiveStubs), pct(f0), pct(f1),
+			b.Spec.Name, itoa(c.live), pct(c.f0), pct(c.f1),
 		})
 	}
 	mean := func(v []float64) float64 {
@@ -562,42 +688,55 @@ func InterpComparison(s *Suite) (*Table, error) {
 		Title:  "§8: decompress-to-buffer vs interpret-in-place (θ=0.001)",
 		Header: []string{"program", "size dec", "size interp", "time dec ×", "time interp ×"},
 	}
-	var sizeD, sizeI, timeD, timeI []float64
-	for _, b := range s.Benches {
+	if err := s.warmBaselines(); err != nil {
+		return nil, err
+	}
+	type cmp struct{ sd, si, td, ti float64 }
+	cells, err := parallel.Map(len(s.Benches), s.Workers, func(i int) (cmp, error) {
+		b := s.Benches[i]
 		baseOut, baseCycles, err := b.BaselineTiming()
 		if err != nil {
-			return nil, err
+			return cmp{}, err
 		}
-		confD := core.DefaultConfig()
+		confD := s.conf()
 		confD.Theta = 0.001
 		confD.StubCapacity = 64
 		dec, err := b.Squash(confD)
 		if err != nil {
-			return nil, err
+			return cmp{}, err
 		}
 		confI := confD
 		confI.Interpret = true
 		itp, err := b.Squash(confI)
 		if err != nil {
-			return nil, err
+			return cmp{}, err
 		}
 		mD, _, err := RunSquashed(dec, b.Spec.TimingInput(), baseOut)
 		if err != nil {
-			return nil, err
+			return cmp{}, err
 		}
 		mI, _, err := RunSquashed(itp, b.Spec.TimingInput(), baseOut)
 		if err != nil {
-			return nil, err
+			return cmp{}, err
 		}
-		sd := float64(dec.Stats.SquashedBytes) / float64(dec.Stats.InputBytes)
-		si := float64(itp.Stats.SquashedBytes) / float64(itp.Stats.InputBytes)
-		td := float64(mD.Cycles) / float64(baseCycles)
-		ti := float64(mI.Cycles) / float64(baseCycles)
-		sizeD = append(sizeD, sd)
-		sizeI = append(sizeI, si)
-		timeD = append(timeD, td)
-		timeI = append(timeI, ti)
-		t.Rows = append(t.Rows, []string{b.Spec.Name, f3(sd), f3(si), f3(td), f3(ti)})
+		return cmp{
+			sd: float64(dec.Stats.SquashedBytes) / float64(dec.Stats.InputBytes),
+			si: float64(itp.Stats.SquashedBytes) / float64(itp.Stats.InputBytes),
+			td: float64(mD.Cycles) / float64(baseCycles),
+			ti: float64(mI.Cycles) / float64(baseCycles),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var sizeD, sizeI, timeD, timeI []float64
+	for i, b := range s.Benches {
+		c := cells[i]
+		sizeD = append(sizeD, c.sd)
+		sizeI = append(sizeI, c.si)
+		timeD = append(timeD, c.td)
+		timeI = append(timeI, c.ti)
+		t.Rows = append(t.Rows, []string{b.Spec.Name, f3(c.sd), f3(c.si), f3(c.td), f3(c.ti)})
 	}
 	t.Rows = append(t.Rows, []string{"geo-mean",
 		f3(geoMean(sizeD)), f3(geoMean(sizeI)), f3(geoMean(timeD)), f3(geoMean(timeI))})
@@ -626,7 +765,7 @@ func Pathology(s *Suite) (*Table, error) {
 	if target == nil {
 		return nil, fmt.Errorf("mpeg2dec not in suite")
 	}
-	for _, c := range []struct {
+	cases := []struct {
 		label string
 		k     int
 		input func() []byte
@@ -634,8 +773,10 @@ func Pathology(s *Suite) (*Table, error) {
 		{"K=512, timing input", 512, target.Spec.TimingInput},
 		{"K=512, pathological input", 512, target.Spec.PathologyInput},
 		{"K=128, pathological input", 128, target.Spec.PathologyInput},
-	} {
-		conf := core.DefaultConfig()
+	}
+	rows, err := parallel.Map(len(cases), s.Workers, func(i int) ([]string, error) {
+		c := cases[i]
+		conf := s.conf()
 		conf.Theta = 0.0001
 		conf.Regions.K = c.k
 		conf.StubCapacity = 64
@@ -643,6 +784,8 @@ func Pathology(s *Suite) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Each case runs its own baseline: the inputs differ per case, so
+		// the shared BaselineTiming cache does not apply.
 		input := c.input()
 		base := vm.New(target.SqImage, input)
 		if err := base.Run(); err != nil {
@@ -652,12 +795,16 @@ func Pathology(s *Suite) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			target.Spec.Name, c.label, itoa(len(input)),
 			f3(float64(m.Cycles) / float64(base.Cycles)),
 			u64toa(rt.Stats.Decompressions),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	t.Notes = append(t.Notes,
 		"The paper describes the same effect for SPECint li (a profile-cold",
 		"interprocedural cycle) and for mpeg2dec at K=128 (a loop split across regions).")
@@ -675,14 +822,15 @@ func ICacheStats(s *Suite, cacheBytes uint32) (*Table, error) {
 		Title:  fmt.Sprintf("Instruction cache (%d KB direct-mapped, 64 B lines): miss rate", cacheBytes/1024),
 		Header: []string{"program", "squeezed", "squashed θ=1e-4", "time × (with cache)"},
 	}
-	for _, b := range s.Benches {
+	rows, err := parallel.Map(len(s.Benches), s.Workers, func(i int) ([]string, error) {
+		b := s.Benches[i]
 		input := b.Spec.TimingInput()
 		base := vm.New(b.SqImage, input)
 		base.AttachICache(vm.NewICache(cacheBytes, 64, 20))
 		if err := base.Run(); err != nil {
 			return nil, err
 		}
-		conf := core.DefaultConfig()
+		conf := s.conf()
 		conf.Theta = 0.0001
 		out, err := b.Squash(conf)
 		if err != nil {
@@ -701,13 +849,17 @@ func ICacheStats(s *Suite, cacheBytes uint32) (*Table, error) {
 		if string(m.Output) != string(base.Output) {
 			return nil, fmt.Errorf("%s: output diverged under icache model", b.Spec.Name)
 		}
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			b.Spec.Name,
 			fmt.Sprintf("%.4f", base.ICache.MissRate()),
 			fmt.Sprintf("%.4f", m.ICache.MissRate()),
 			f3(float64(m.Cycles) / float64(base.Cycles)),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	t.Rows = append(t.Rows, rows...)
 	t.Notes = append(t.Notes,
 		"The decompressor flushes buffer lines after each fill (§2.1), but the squashed",
 		"program's smaller live text competes for fewer cache lines.")

@@ -1,0 +1,66 @@
+package huffman
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestBitWriterAppendMatchesSequential checks that encoding sections into
+// private writers and concatenating with Append yields the byte stream a
+// single sequential writer produces, at every alignment.
+func TestBitWriterAppendMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nSections := 1 + r.Intn(5)
+		sections := make([][]uint8, nSections)
+		for i := range sections {
+			bits := make([]uint8, r.Intn(40))
+			for j := range bits {
+				bits[j] = uint8(r.Intn(2))
+			}
+			sections[i] = bits
+		}
+
+		var seq BitWriter
+		for _, bits := range sections {
+			for _, b := range bits {
+				seq.WriteBit(b)
+			}
+		}
+
+		var cat BitWriter
+		for _, bits := range sections {
+			var part BitWriter
+			for _, b := range bits {
+				part.WriteBit(b)
+			}
+			cat.Append(&part)
+		}
+
+		if seq.Len() != cat.Len() {
+			t.Fatalf("trial %d: lengths differ: %d vs %d", trial, seq.Len(), cat.Len())
+		}
+		if !bytes.Equal(seq.Bytes(), cat.Bytes()) {
+			t.Fatalf("trial %d: streams differ", trial)
+		}
+	}
+}
+
+func TestCodePrimeMatchesLazyEncode(t *testing.T) {
+	freq := map[uint32]uint64{1: 5, 2: 9, 7: 1, 100: 44}
+	a, b := Build(freq), Build(freq)
+	a.Prime()
+	var wa, wb BitWriter
+	for _, v := range []uint32{100, 7, 2, 1, 100} {
+		if err := a.Encode(&wa, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Encode(&wb, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(wa.Bytes(), wb.Bytes()) {
+		t.Fatal("primed and lazy encoders disagree")
+	}
+}

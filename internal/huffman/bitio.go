@@ -35,6 +35,24 @@ func (w *BitWriter) WriteBit(b uint8) {
 // Len reports the number of bits written so far.
 func (w *BitWriter) Len() int { return w.n }
 
+// Append replays every bit written to src onto w, producing exactly the
+// stream the same WriteBit calls would have. It lets independent sections
+// be encoded concurrently into private writers and then concatenated into
+// one bit stream; when w is byte-aligned the bulk of src is copied whole.
+func (w *BitWriter) Append(src *BitWriter) {
+	if w.bits == 0 {
+		w.buf = append(w.buf, src.buf...)
+		w.n += 8 * len(src.buf)
+	} else {
+		for _, b := range src.buf {
+			w.WriteBits(uint64(b), 8)
+		}
+	}
+	if src.bits > 0 {
+		w.WriteBits(uint64(src.cur), uint(src.bits))
+	}
+}
+
 // Bytes flushes the final partial byte (padding with zero bits) and returns
 // the accumulated buffer. The writer remains usable; further writes continue
 // from the unpadded position only if the bit count was already a multiple of

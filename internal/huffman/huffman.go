@@ -166,6 +166,16 @@ func (c *Code) buildEncoder() {
 	}
 }
 
+// Prime materializes the encoder table eagerly. Encode and CodeLen build it
+// lazily on first use, which is a data race if a shared Code is first used
+// from concurrent encoders; callers that fan encoding out across goroutines
+// must Prime each code beforehand.
+func (c *Code) Prime() {
+	if c.enc == nil {
+		c.buildEncoder()
+	}
+}
+
 // Encode appends the codeword for v to w. It returns an error if v is not in
 // the code, which indicates the frequency pass and the encode pass saw
 // different data.

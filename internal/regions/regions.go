@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/cfg"
 	"repro/internal/isa"
+	"repro/internal/parallel"
 )
 
 // Config parameterizes region formation.
@@ -34,6 +35,12 @@ type Config struct {
 	// Strategy selects the construction algorithm (the paper's DFS, or the
 	// loop-aware extension of §9's future work).
 	Strategy Strategy
+	// Workers bounds the goroutines used by the per-function analysis
+	// passes (predecessor graph, compressibility classification); <= 0
+	// means one per CPU. Region construction itself stays sequential — the
+	// greedy DFS shares an assignment set — so results are identical at
+	// any worker count.
+	Workers int
 }
 
 // DebugTrace, when set, receives partitioning diagnostics.
@@ -137,6 +144,19 @@ type Preds struct {
 
 // BuildPreds indexes the program.
 func BuildPreds(p *cfg.Program) *Preds {
+	return BuildPredsWorkers(p, 1)
+}
+
+// predEdges is one function's contribution to the predecessor graph.
+type predEdges struct {
+	flow, call [][2]string // (to, from) pairs
+	addrTaken  []string
+}
+
+// BuildPredsWorkers is BuildPreds with the per-function edge scan fanned
+// out over the given worker count (<= 0 means one per CPU). The edge sets
+// are unions, so the merged graph is identical at any worker count.
+func BuildPredsWorkers(p *cfg.Program, workers int) *Preds {
 	pr := &Preds{
 		FlowPreds:    map[string]map[string]bool{},
 		CallPreds:    map[string]map[string]bool{},
@@ -157,24 +177,37 @@ func BuildPreds(p *cfg.Program) *Preds {
 			pr.owner[b.Label] = f
 		}
 	}
-	for _, f := range p.Funcs {
-		for _, b := range f.Blocks {
+	scans, _ := parallel.Map(len(p.Funcs), workers, func(fi int) (predEdges, error) {
+		var e predEdges
+		for _, b := range p.Funcs[fi].Blocks {
 			succs, _ := b.Succs()
 			for _, s := range succs {
-				add(pr.FlowPreds, s, b.Label)
+				e.flow = append(e.flow, [2]string{s, b.Label})
 			}
 			for _, c := range b.Calls() {
 				if c.Callee != "" && labels[c.Callee] {
-					add(pr.CallPreds, c.Callee, b.Label)
+					e.call = append(e.call, [2]string{c.Callee, b.Label})
 				}
 			}
 			for _, in := range b.Insts {
 				// A la of a code label takes its address (indirect call or
 				// computed branch target).
 				if in.Kind == cfg.TargetLo16 && labels[in.Target] {
-					pr.AddressTaken[in.Target] = true
+					e.addrTaken = append(e.addrTaken, in.Target)
 				}
 			}
+		}
+		return e, nil
+	})
+	for _, e := range scans {
+		for _, fl := range e.flow {
+			add(pr.FlowPreds, fl[0], fl[1])
+		}
+		for _, c := range e.call {
+			add(pr.CallPreds, c[0], c[1])
+		}
+		for _, l := range e.addrTaken {
+			pr.AddressTaken[l] = true
 		}
 	}
 	for _, r := range p.DataRelocs {
@@ -221,10 +254,13 @@ func BufferWords(r *Region, safeCallee func(string) bool) int {
 // compressible classifies which cold blocks may be compressed at all, and
 // records exclusion reasons for the rest (paper: §2.2 setjmp, §4 unknown
 // control flow, §6.2 unresolved jump tables).
-func compressible(p *cfg.Program, cold map[string]bool) (map[string]*cfg.Block, map[string]string) {
-	ok := map[string]*cfg.Block{}
-	excluded := map[string]string{}
-	for _, f := range p.Funcs {
+func compressible(p *cfg.Program, cold map[string]bool, workers int) (map[string]*cfg.Block, map[string]string) {
+	type verdict struct {
+		block  *cfg.Block
+		reason string // empty when compressible
+	}
+	scans, _ := parallel.Map(len(p.Funcs), workers, func(fi int) ([]verdict, error) {
+		f := p.Funcs[fi]
 		setjmp := f.CallsSetjmp()
 		// An unresolved indirect jump poisons the whole function: any block
 		// could be its target.
@@ -234,23 +270,36 @@ func compressible(p *cfg.Program, cold map[string]bool) (map[string]*cfg.Block, 
 				poisoned = true
 			}
 		}
+		var out []verdict
 		for _, b := range f.Blocks {
 			if !cold[b.Label] {
 				continue
 			}
+			v := verdict{block: b}
 			switch {
 			case setjmp:
-				excluded[b.Label] = "function calls setjmp"
+				v.reason = "function calls setjmp"
 			case poisoned:
-				excluded[b.Label] = "function contains unresolved indirect jump"
+				v.reason = "function contains unresolved indirect jump"
 			case hasRaw(b):
-				excluded[b.Label] = "block contains data words"
+				v.reason = "block contains data words"
 			case endsInTableJump(b):
-				excluded[b.Label] = "block ends in jump-table dispatch (not unswitched)"
+				v.reason = "block ends in jump-table dispatch (not unswitched)"
 			case hasIndirectUnknownCall(b):
-				excluded[b.Label] = "block contains indirect call with unknown target"
-			default:
-				ok[b.Label] = b
+				v.reason = "block contains indirect call with unknown target"
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	})
+	ok := map[string]*cfg.Block{}
+	excluded := map[string]string{}
+	for _, scan := range scans {
+		for _, v := range scan {
+			if v.reason == "" {
+				ok[v.block.Label] = v.block
+			} else {
+				excluded[v.block.Label] = v.reason
 			}
 		}
 	}
@@ -290,8 +339,8 @@ func Partition(p *cfg.Program, cold map[string]bool, conf Config) (*Result, *Pre
 		return nil, nil, fmt.Errorf("regions: invalid config K=%d gamma=%v", conf.K, conf.Gamma)
 	}
 	maxWords := conf.K / isa.WordSize
-	preds := BuildPreds(p)
-	candidates, excluded := compressible(p, cold)
+	preds := BuildPredsWorkers(p, conf.Workers)
+	candidates, excluded := compressible(p, cold, conf.Workers)
 
 	res := &Result{
 		InRegion: map[string]int{},

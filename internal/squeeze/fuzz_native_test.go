@@ -1,0 +1,66 @@
+package squeeze
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/objfile"
+	"repro/internal/testprog"
+	"repro/internal/vm"
+)
+
+// FuzzSqueeze is the native fuzz entry for `go test -fuzz=FuzzSqueeze`: the
+// fuzzer picks a program seed, a pass-selection byte, and a run input, and
+// the target checks that the squeezed binary reproduces the baseline
+// behaviour and never grows. The CI fuzz-smoke job runs it briefly.
+func FuzzSqueeze(f *testing.F) {
+	f.Add(int64(1000), uint8(0), []byte(""))
+	f.Add(int64(1007), uint8(3), []byte("fuzzing the compactor"))
+	f.Add(int64(1042), uint8(7), []byte{255, 254, 0, 1, 127, 128})
+	f.Fuzz(func(t *testing.T, seed int64, optBits uint8, input []byte) {
+		if len(input) > 256 {
+			input = input[:256]
+		}
+		src := testprog.Random(seed)
+		obj, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("seed %d: assemble: %v", seed, err)
+		}
+		im, err := objfile.Link("main", obj)
+		if err != nil {
+			t.Fatalf("seed %d: link: %v", seed, err)
+		}
+		opts := Options{
+			NoUnreachable: optBits&1 != 0,
+			NoNops:        optBits&2 != 0,
+			NoAbstraction: optBits&4 != 0,
+		}
+		p, err := cfg.Build(obj, "main")
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		st, err := RunOpts(p, opts)
+		if err != nil {
+			t.Fatalf("seed %d (%+v): %v", seed, opts, err)
+		}
+		if st.OutputInsts > st.InputInsts {
+			t.Fatalf("seed %d: squeeze grew the program %d -> %d", seed, st.InputInsts, st.OutputInsts)
+		}
+		sqIm, err := cfg.LowerAndLink(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		base := vm.New(im, input)
+		if err := base.Run(); err != nil {
+			t.Fatalf("seed %d baseline: %v", seed, err)
+		}
+		sq := vm.New(sqIm, input)
+		if err := sq.Run(); err != nil {
+			t.Fatalf("seed %d (%+v): squeezed run: %v", seed, opts, err)
+		}
+		if string(base.Output) != string(sq.Output) || base.Status != sq.Status {
+			t.Fatalf("seed %d (%+v): behaviour diverged", seed, opts)
+		}
+	})
+}

@@ -21,12 +21,18 @@ import (
 
 	"repro/internal/huffman"
 	"repro/internal/isa"
+	"repro/internal/parallel"
 )
 
 // Options configures the compressor.
 type Options struct {
 	// MTF applies a move-to-front transform to each stream before coding.
 	MTF bool
+	// Workers bounds the goroutines Train uses for frequency counting;
+	// <= 0 means one per CPU. The trained codes are identical at any
+	// worker count: per-sequence counts are summed, and summation is
+	// order-independent.
+	Workers int
 }
 
 // Compressor holds one canonical Huffman code per operand stream, trained
@@ -53,20 +59,35 @@ var sentinelInst = isa.Inst{Op: isa.OpIllegal, Format: isa.FormatIllegal}
 func Train(seqs [][]isa.Inst, opts Options) *Compressor {
 	c := &Compressor{opts: opts}
 	if opts.MTF {
+		// Per-sequence alphabet collection fans out; the union is a set, so
+		// merge order cannot affect the sorted result.
+		partial, _ := parallel.Map(len(seqs), opts.Workers,
+			func(i int) ([isa.NumStreams]map[uint32]bool, error) {
+				var seen [isa.NumStreams]map[uint32]bool
+				for k := range seen {
+					seen[k] = make(map[uint32]bool)
+				}
+				collect := func(in isa.Inst) {
+					for _, fv := range isa.Fields(in) {
+						seen[fv.Kind][fv.Value] = true
+					}
+				}
+				for _, in := range seqs[i] {
+					collect(in)
+				}
+				collect(sentinelInst)
+				return seen, nil
+			})
 		var seen [isa.NumStreams]map[uint32]bool
 		for i := range seen {
 			seen[i] = make(map[uint32]bool)
 		}
-		collect := func(in isa.Inst) {
-			for _, fv := range isa.Fields(in) {
-				seen[fv.Kind][fv.Value] = true
+		for _, p := range partial {
+			for i := range p {
+				for v := range p[i] {
+					seen[i][v] = true
+				}
 			}
-		}
-		for _, seq := range seqs {
-			for _, in := range seq {
-				collect(in)
-			}
-			collect(sentinelInst)
 		}
 		for i := range seen {
 			vals := make([]uint32, 0, len(seen[i]))
@@ -78,28 +99,45 @@ func Train(seqs [][]isa.Inst, opts Options) *Compressor {
 		}
 	}
 
+	// Frequency counting is per sequence (each sequence restarts its MTF
+	// state), so it fans out too; the merged counts are sums, identical at
+	// any worker count.
+	partial, _ := parallel.Map(len(seqs), opts.Workers,
+		func(i int) ([isa.NumStreams]map[uint32]uint64, error) {
+			var f [isa.NumStreams]map[uint32]uint64
+			for k := range f {
+				f[k] = make(map[uint32]uint64)
+			}
+			mtf := c.newMTF()
+			count := func(in isa.Inst) {
+				for _, fv := range isa.Fields(in) {
+					v := fv.Value
+					if mtf != nil {
+						v = mtf[fv.Kind].encode(v)
+					}
+					f[fv.Kind][v]++
+				}
+			}
+			for _, in := range seqs[i] {
+				count(in)
+			}
+			count(sentinelInst)
+			return f, nil
+		})
 	var freqs [isa.NumStreams]map[uint32]uint64
 	for i := range freqs {
 		freqs[i] = make(map[uint32]uint64)
 	}
-	for _, seq := range seqs {
-		mtf := c.newMTF()
-		count := func(in isa.Inst) {
-			for _, fv := range isa.Fields(in) {
-				v := fv.Value
-				if mtf != nil {
-					v = mtf[fv.Kind].encode(v)
-				}
-				freqs[fv.Kind][v]++
+	for _, p := range partial {
+		for i := range p {
+			for v, n := range p[i] {
+				freqs[i][v] += n
 			}
 		}
-		for _, in := range seq {
-			count(in)
-		}
-		count(sentinelInst)
 	}
 	for i := range c.codes {
 		c.codes[i] = huffman.Build(freqs[i])
+		c.codes[i].Prime()
 	}
 	return c
 }
@@ -147,6 +185,35 @@ func (c *Compressor) Compress(w *huffman.BitWriter, seq []isa.Inst) error {
 		}
 	}
 	return emit(sentinelInst)
+}
+
+// CompressAll compresses every sequence and concatenates the per-sequence
+// bit streams in input order, exactly as sequential Compress calls against
+// one shared writer would. offsets[i] is the starting bit position of
+// sequence i in the returned blob. Sequences are encoded concurrently into
+// private writers (each region's bits are independent of its position in
+// the blob), so the result is byte-identical at any worker count.
+func (c *Compressor) CompressAll(seqs [][]isa.Inst, workers int) (blob []byte, offsets []uint32, err error) {
+	for _, code := range c.codes {
+		code.Prime() // lazy encoder init would race across goroutines
+	}
+	parts, err := parallel.Map(len(seqs), workers, func(i int) (*huffman.BitWriter, error) {
+		var w huffman.BitWriter
+		if err := c.Compress(&w, seqs[i]); err != nil {
+			return nil, fmt.Errorf("region %d: %w", i, err)
+		}
+		return &w, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var out huffman.BitWriter
+	offsets = make([]uint32, len(seqs))
+	for i, part := range parts {
+		offsets[i] = uint32(out.Len())
+		out.Append(part)
+	}
+	return out.Bytes(), offsets, nil
 }
 
 // CompressedBits reports the exact coded size in bits of seq including its
