@@ -28,6 +28,7 @@ func main() {
 	profOut := flag.String("profile", "", "write a basic-block execution profile to this file")
 	stats := flag.Bool("stats", false, "print execution statistics to stderr")
 	limit := flag.Uint64("limit", 0, "instruction limit (0 = default)")
+	noFast := flag.Bool("nofastpath", false, "force the reference decode/dispatch paths (identical simulated behaviour; used by the CI equivalence guard)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: em-run [-in file] [-profile out] [-stats] prog.{exe,o}")
@@ -50,6 +51,7 @@ func main() {
 
 	m := vm.New(im, input)
 	m.MaxInstructions = *limit
+	m.DisableFastPath = *noFast
 	if *profOut != "" {
 		m.EnableProfile()
 	}
@@ -62,6 +64,7 @@ func main() {
 		if rt, err = core.NewRuntime(meta); err != nil {
 			fail(err)
 		}
+		rt.SetFastPath(!*noFast)
 		rt.Install(m)
 	}
 	if err := m.Run(); err != nil {

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/objfile"
+	"repro/internal/vm"
+)
+
+// benchRuntime squashes the package's standard test program and returns an
+// installed runtime plus its machine, ready to decompress regions on demand.
+func benchRuntime(b *testing.B) (*Runtime, *vm.Machine) {
+	b.Helper()
+	obj, err := asm.Assemble(testProgram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := objfile.Link("main", obj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pm := vm.New(im, profInput)
+	pm.EnableProfile()
+	if err := pm.Run(); err != nil {
+		b.Fatal(err)
+	}
+	conf := DefaultConfig()
+	conf.Regions.K = 96 // several small regions, as in the equivalence tests
+	out, err := Squash(obj, pm.Profile, conf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if out.Stats.RegionCount == 0 {
+		b.Fatal("no regions formed")
+	}
+	rt, err := NewRuntime(out.Meta)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := vm.New(out.Image, nil)
+	rt.Install(m)
+	return rt, m
+}
+
+// BenchmarkRegionDecompress measures one region fill of the runtime buffer:
+// Huffman-decoding the region's split streams ("decode", fast paths off) or
+// replaying the memoized emission ("memo"). Paired sub-benchmarks in one
+// process make the speedup ratio robust against machine-load noise.
+func BenchmarkRegionDecompress(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		fast bool
+	}{{"memo", true}, {"decode", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			rt, m := benchRuntime(b)
+			rt.SetFastPath(mode.fast)
+			tag := uint32(0)<<16 | 1 // region 0, buffer offset 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rt.decompressAndJump(m, tag); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

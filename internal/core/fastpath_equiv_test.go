@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/objfile"
+	"repro/internal/testprog"
+	"repro/internal/vm"
+)
+
+// runSquashedMode executes a squashed image with the fast paths either
+// enabled (memoized region decompression, table-driven Huffman, predecoded
+// dispatch) or fully disabled, returning the machine and runtime for
+// comparison.
+func runSquashedMode(t *testing.T, out *Output, input []byte, fast bool) (*vm.Machine, *Runtime) {
+	t.Helper()
+	rt, err := NewRuntime(out.Meta)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	rt.SetFastPath(fast)
+	m := vm.New(out.Image, input)
+	m.DisableFastPath = !fast
+	m.StackCheck = true
+	rt.Install(m)
+	if err := m.Run(); err != nil {
+		t.Fatalf("squashed run (fast=%v): %v", fast, err)
+	}
+	return m, rt
+}
+
+// assertModesIdentical compares every simulated observable between a
+// fast-path run and a reference run: output bytes, exit status, instruction
+// and cycle counts, the SP trace, and the full RuntimeStats struct. This is
+// the invariant the whole PR hangs on — the fast paths are pure
+// implementation speedups with zero simulated-behaviour drift.
+func assertModesIdentical(t *testing.T, label string, fastM, slowM *vm.Machine, fastRT, slowRT *Runtime) {
+	t.Helper()
+	if string(fastM.Output) != string(slowM.Output) {
+		t.Fatalf("%s: output differs:\n  fast %q\n  slow %q", label, fastM.Output, slowM.Output)
+	}
+	if fastM.Status != slowM.Status {
+		t.Fatalf("%s: status %d (fast) vs %d (slow)", label, fastM.Status, slowM.Status)
+	}
+	if fastM.Instructions != slowM.Instructions {
+		t.Fatalf("%s: %d instructions (fast) vs %d (slow)", label, fastM.Instructions, slowM.Instructions)
+	}
+	if fastM.Cycles != slowM.Cycles {
+		t.Fatalf("%s: %d cycles (fast) vs %d (slow)", label, fastM.Cycles, slowM.Cycles)
+	}
+	if len(fastM.SPTrace) != len(slowM.SPTrace) {
+		t.Fatalf("%s: SP trace length %d (fast) vs %d (slow)", label, len(fastM.SPTrace), len(slowM.SPTrace))
+	}
+	for i := range fastM.SPTrace {
+		if fastM.SPTrace[i] != slowM.SPTrace[i] {
+			t.Fatalf("%s: SP differs at output byte %d", label, i)
+		}
+	}
+	if fastRT.Stats != slowRT.Stats {
+		t.Fatalf("%s: runtime stats diverge:\n  fast %+v\n  slow %+v", label, fastRT.Stats, slowRT.Stats)
+	}
+}
+
+// TestSquashFastPathEquivalence runs the standard squash test program with
+// several region sizes (forcing repeated decompressions of the same regions,
+// the memoization hot case) and checks fast-on vs fast-off equality.
+func TestSquashFastPathEquivalence(t *testing.T) {
+	obj, _, counts := prepare(t, testProgram, profInput)
+	for _, k := range []int{64, 96, 256} {
+		conf := DefaultConfig()
+		conf.Regions.K = k
+		out, err := Squash(obj, counts, conf)
+		if err != nil {
+			t.Fatalf("K=%d: Squash: %v", k, err)
+		}
+		fastM, fastRT := runSquashedMode(t, out, timingInput, true)
+		slowM, slowRT := runSquashedMode(t, out, timingInput, false)
+		assertModesIdentical(t, fmt.Sprintf("K=%d", k), fastM, slowM, fastRT, slowRT)
+		if fastRT.Stats.Decompressions < 2 {
+			t.Fatalf("K=%d: only %d decompressions; memoization untested", k, fastRT.Stats.Decompressions)
+		}
+	}
+}
+
+// TestSquashFastPathEquivalenceRandom repeats the check over randomized
+// programs so region layout, stream contents, and replay order vary.
+func TestSquashFastPathEquivalenceRandom(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		src := testprog.Random(seed)
+		obj, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("seed %d: assemble: %v", seed, err)
+		}
+		im, err := objfile.Link("main", obj)
+		if err != nil {
+			t.Fatalf("seed %d: link: %v", seed, err)
+		}
+		input := []byte(fmt.Sprintf("fastpath core equivalence %d", seed))
+		prof := vm.New(im, input)
+		prof.EnableProfile()
+		if err := prof.Run(); err != nil {
+			t.Fatalf("seed %d: profiling run: %v", seed, err)
+		}
+		conf := DefaultConfig()
+		conf.Regions.K = 64
+		out, err := Squash(obj, prof.Profile, conf)
+		if err != nil {
+			t.Fatalf("seed %d: Squash: %v", seed, err)
+		}
+		fastM, fastRT := runSquashedMode(t, out, input, true)
+		slowM, slowRT := runSquashedMode(t, out, input, false)
+		assertModesIdentical(t, fmt.Sprintf("seed %d", seed), fastM, slowM, fastRT, slowRT)
+	}
+}
+
+// TestMemoizedReplayMatchesFreshDecode decompresses the same region twice in
+// one runtime and checks the second (memoized) pass charges exactly the same
+// simulated costs as the first (fresh) pass did.
+func TestMemoizedReplayMatchesFreshDecode(t *testing.T) {
+	obj, _, counts := prepare(t, testProgram, profInput)
+	conf := DefaultConfig()
+	conf.Regions.K = 96
+	out, err := Squash(obj, counts, conf)
+	if err != nil {
+		t.Fatalf("Squash: %v", err)
+	}
+	rt, err := NewRuntime(out.Meta)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	m := vm.New(out.Image, nil)
+	rt.Install(m)
+
+	tag := uint32(0)<<16 | 1 // region 0, first entry offset
+	if err := rt.decompressAndJump(m, tag); err != nil {
+		t.Fatalf("fresh decompress: %v", err)
+	}
+	first := rt.Stats
+	firstCycles := m.Cycles
+	if err := rt.decompressAndJump(m, tag); err != nil {
+		t.Fatalf("memoized decompress: %v", err)
+	}
+	if got, want := rt.Stats.BitsRead-first.BitsRead, first.BitsRead; got != want {
+		t.Fatalf("memoized replay charged %d bits, fresh decode charged %d", got, want)
+	}
+	if got, want := m.Cycles-firstCycles, firstCycles; got != want {
+		t.Fatalf("memoized replay charged %d cycles, fresh decode charged %d", got, want)
+	}
+}

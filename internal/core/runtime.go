@@ -31,6 +31,14 @@ type Runtime struct {
 
 	curRegion int // region currently in the buffer; -1 when none
 
+	// memo caches each region's decoded emission the first time it is
+	// decompressed, so replays skip the Huffman decode and field reassembly
+	// entirely. The simulated cost is unchanged: the recorded bit count and
+	// instruction count feed the same cycle charges and RuntimeStats as a
+	// real decode, and the buffer is refilled through WriteWord either way.
+	memo       []*regionImage
+	noFastPath bool
+
 	slots []stubSlot
 	byTag map[uint32]int // live stub tag -> slot index
 
@@ -42,6 +50,14 @@ type Runtime struct {
 
 	// Trace, when set, receives one line per runtime event (diagnostics).
 	Trace func(string)
+}
+
+// regionImage is one region's memoized decompression: the buffer words it
+// emits (indices 1..len; word 0 is the per-tag dispatch branch, written
+// fresh on every entry) and the compressed bits its decode consumed.
+type regionImage struct {
+	words []uint32
+	bits  int
 }
 
 type stubSlot struct {
@@ -75,6 +91,7 @@ func NewRuntime(meta *Meta) (*Runtime, error) {
 		meta:      meta,
 		comp:      comp,
 		curRegion: -1,
+		memo:      make([]*regionImage, len(meta.OffsetTable)),
 		slots:     make([]stubSlot, meta.StubCapacity),
 		byTag:     map[uint32]int{},
 	}
@@ -84,6 +101,16 @@ func NewRuntime(meta *Meta) (*Runtime, error) {
 		}
 	}
 	return rt, nil
+}
+
+// SetFastPath enables (the default) or disables the runtime's fast paths:
+// region memoization here and the table-driven Huffman decoder underneath.
+// Disabled, every entry re-decodes its region bit by bit through the
+// reference decoder; simulated cycles, stats, and memory images are
+// identical either way.
+func (rt *Runtime) SetFastPath(enabled bool) {
+	rt.noFastPath = !enabled
+	rt.comp.SetSlowDecode(!enabled)
 }
 
 // Range reports the intercepted address interval: the decompressor region
@@ -260,43 +287,71 @@ func (rt *Runtime) decompressAndJump(m *vm.Machine, tag uint32) error {
 	}
 
 	pos := 1
-	decompWord := int32(rt.meta.DecompAddr) / isa.WordSize
-	bufWord := int32(base) / isa.WordSize
-	emit := func(w uint32) error {
-		if pos >= maxWords {
-			return fmt.Errorf("core: region %d overflows the runtime buffer", region)
-		}
-		if err := m.WriteWord(base+uint32(pos*isa.WordSize), w); err != nil {
-			return err
-		}
-		pos++
-		return nil
-	}
-	bits, err := rt.comp.Decompress(rt.meta.Blob, int(rt.meta.OffsetTable[region]), func(in isa.Inst) error {
-		switch in.Op {
-		case isa.OpBSRX:
-			// Expanded direct call: bsr reg -> CreateStub entry, then the
-			// branch to the callee with the displacement stored in the
-			// compressed stream (relative to the word after the branch).
-			csDisp := decompWord + int32(in.RA) - (bufWord + int32(pos) + 1)
-			if err := emit(isa.Encode(isa.Br(isa.OpBSR, in.RA, csDisp))); err != nil {
+	var bits int
+	if img := rt.memo[region]; img != nil && !rt.noFastPath {
+		// Replay the memoized emission. The words are offset-independent
+		// (only the dispatch word above depends on the tag), and WriteWord
+		// keeps the simulator's decode-cache invalidation exact.
+		for _, w := range img.words {
+			if err := m.WriteWord(base+uint32(pos*isa.WordSize), w); err != nil {
 				return err
 			}
-			return emit(isa.Encode(isa.Br(isa.OpBR, isa.RegZero, in.Disp)))
-		case isa.OpJSRX:
-			// Expanded indirect call: bsr reg -> CreateStub entry, then a
-			// non-linking jump through the original target register.
-			csDisp := decompWord + int32(in.RA) - (bufWord + int32(pos) + 1)
-			if err := emit(isa.Encode(isa.Br(isa.OpBSR, in.RA, csDisp))); err != nil {
+			pos++
+		}
+		bits = img.bits
+	} else {
+		decompWord := int32(rt.meta.DecompAddr) / isa.WordSize
+		bufWord := int32(base) / isa.WordSize
+		emit := func(w uint32) error {
+			if pos >= maxWords {
+				return fmt.Errorf("core: region %d overflows the runtime buffer", region)
+			}
+			if err := m.WriteWord(base+uint32(pos*isa.WordSize), w); err != nil {
 				return err
 			}
-			return emit(isa.Encode(isa.Jump(isa.JmpJMP, isa.RegZero, in.RB, 0)))
-		default:
-			return emit(isa.Encode(in))
+			pos++
+			return nil
 		}
-	})
-	if err != nil {
-		return fmt.Errorf("core: decompressing region %d: %w", region, err)
+		n, err := rt.comp.Decompress(rt.meta.Blob, int(rt.meta.OffsetTable[region]), func(in isa.Inst) error {
+			switch in.Op {
+			case isa.OpBSRX:
+				// Expanded direct call: bsr reg -> CreateStub entry, then the
+				// branch to the callee with the displacement stored in the
+				// compressed stream (relative to the word after the branch).
+				csDisp := decompWord + int32(in.RA) - (bufWord + int32(pos) + 1)
+				if err := emit(isa.Encode(isa.Br(isa.OpBSR, in.RA, csDisp))); err != nil {
+					return err
+				}
+				return emit(isa.Encode(isa.Br(isa.OpBR, isa.RegZero, in.Disp)))
+			case isa.OpJSRX:
+				// Expanded indirect call: bsr reg -> CreateStub entry, then a
+				// non-linking jump through the original target register.
+				csDisp := decompWord + int32(in.RA) - (bufWord + int32(pos) + 1)
+				if err := emit(isa.Encode(isa.Br(isa.OpBSR, in.RA, csDisp))); err != nil {
+					return err
+				}
+				return emit(isa.Encode(isa.Jump(isa.JmpJMP, isa.RegZero, in.RB, 0)))
+			default:
+				return emit(isa.Encode(in))
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("core: decompressing region %d: %w", region, err)
+		}
+		bits = n
+		if !rt.noFastPath {
+			// Record the emission for replay: read the words back out of the
+			// buffer so the memo holds exactly what a decode produces.
+			img := &regionImage{words: make([]uint32, pos-1), bits: bits}
+			for i := range img.words {
+				w, err := m.ReadWord(base + uint32((i+1)*isa.WordSize))
+				if err != nil {
+					return err
+				}
+				img.words[i] = w
+			}
+			rt.memo[region] = img
+		}
 	}
 	m.ICacheFlush(base, base+uint32(pos*isa.WordSize))
 	rt.Stats.Decompressions++

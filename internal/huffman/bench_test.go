@@ -1,0 +1,85 @@
+package huffman
+
+import "testing"
+
+// benchStream builds a canonical code over a 256-value alphabet with a
+// skewed (geometric-ish) frequency profile — the shape of real operand
+// streams — and encodes a deterministic pseudo-random symbol sequence.
+func benchStream() (*Code, []byte, int) {
+	freq := map[uint32]uint64{}
+	for v := uint32(0); v < 256; v++ {
+		freq[v] = 1 + uint64(1)<<(20-v/16)
+	}
+	c := Build(freq)
+	const n = 8192
+	var w BitWriter
+	state := uint64(0x2545F4914F6CDD1D)
+	syms := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		// xorshift; bias toward small (frequent) symbols.
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		v := uint32(state) % 256
+		if state&3 != 0 {
+			v %= 24
+		}
+		syms[i] = v
+		if err := c.Encode(&w, v); err != nil {
+			panic(err)
+		}
+	}
+	return c, w.Bytes(), n
+}
+
+// BenchmarkHuffmanDecode measures per-symbol canonical Huffman decode cost:
+// "table" is the first-K-bits table decoder, "tree" the paper's bit-at-a-time
+// DECODE() loop it must match bit for bit. Paired sub-benchmarks in one
+// process make the speedup ratio robust against machine-load noise.
+func BenchmarkHuffmanDecode(b *testing.B) {
+	c, blob, n := benchStream()
+	for _, mode := range []struct {
+		name   string
+		decode func(*BitReader) (uint32, error)
+	}{{"table", c.Decode}, {"tree", c.DecodeTree}} {
+		b.Run(mode.name, func(b *testing.B) {
+			r := NewBitReader(blob)
+			b.ResetTimer()
+			left := 0
+			for i := 0; i < b.N; i++ {
+				if left == 0 {
+					r.Seek(0)
+					left = n
+				}
+				left--
+				if _, err := mode.decode(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBitReaderReadBits measures raw multi-bit field extraction with a
+// width mix that straddles byte boundaries.
+func BenchmarkBitReaderReadBits(b *testing.B) {
+	buf := make([]byte, 1<<16)
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := range buf {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		buf[i] = byte(state)
+	}
+	widths := [8]uint{3, 11, 7, 16, 1, 21, 5, 13}
+	r := NewBitReader(buf)
+	limit := 8*len(buf) - 64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := widths[i&7]
+		if r.BitsRead() > limit {
+			r.Seek(0)
+		}
+		_ = r.ReadBits(w)
+	}
+}

@@ -6,6 +6,8 @@
 // rapidly decoded using the arrays N[i] and D[j]".
 package huffman
 
+import "encoding/binary"
+
 // BitWriter accumulates a most-significant-bit-first bit stream.
 type BitWriter struct {
 	buf  []byte
@@ -68,34 +70,105 @@ func (w *BitWriter) Bytes() []byte {
 // BitReader consumes a most-significant-bit-first bit stream and counts the
 // bits it reads, which the simulator's cost model uses to charge
 // decompression work.
+//
+// The reader keeps the upcoming bits in a 64-bit refill buffer and extracts
+// whole fields with shifts instead of per-bit loops; the observable stream —
+// bit values, consumed-bit count, zero fill past the end — is identical to a
+// bit-at-a-time reader over the same buffer (see the equivalence tests in
+// bitio_equiv_test.go).
 type BitReader struct {
-	buf []byte
-	pos int // bit position
+	buf    []byte
+	pos    int    // absolute bit position consumed so far
+	bitbuf uint64 // upcoming bits, left-aligned: bit 63 is the next bit
+	nbits  uint   // valid bits in bitbuf
+	bp     int    // byte index of the next unloaded byte
 }
 
 // NewBitReader returns a reader over buf.
 func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
 
-// ReadBit returns the next bit. Reading past the end returns zero bits,
-// matching the zero padding emitted by BitWriter.Bytes; decoders terminate
-// on an explicit sentinel value rather than on end of stream.
-func (r *BitReader) ReadBit() uint8 {
-	byteIdx := r.pos >> 3
-	if byteIdx >= len(r.buf) {
-		r.pos++
-		return 0
+// refill tops the bit buffer up to at least 57 valid bits. Past the end of
+// buf the stream continues with zero bits, matching the zero padding emitted
+// by BitWriter.Bytes; decoders terminate on an explicit sentinel value
+// rather than on end of stream.
+func (r *BitReader) refill() {
+	if r.bp+8 <= len(r.buf) {
+		// One 64-bit load continues the stream at bit 63-nbits. Only the
+		// whole bytes that fit are accounted in nbits and bp; up to seven
+		// unaccounted low bits also land in bitbuf, but they hold exactly
+		// the stream bits at those positions, so the next refill ORs the
+		// same values over them.
+		n := (64 - r.nbits) >> 3
+		r.bitbuf |= binary.BigEndian.Uint64(r.buf[r.bp:]) >> r.nbits
+		r.nbits += n << 3
+		r.bp += int(n)
+		return
 	}
-	b := r.buf[byteIdx] >> (7 - uint(r.pos&7)) & 1
+	for r.nbits <= 56 {
+		if r.bp >= len(r.buf) {
+			r.nbits = 64 // implicit zero bits; bitbuf's low bits are zero
+			return
+		}
+		r.bitbuf |= uint64(r.buf[r.bp]) << (56 - r.nbits)
+		r.nbits += 8
+		r.bp++
+	}
+}
+
+// peek returns the next width bits (width ≤ 57) without consuming them.
+func (r *BitReader) peek(width uint) uint64 {
+	if r.nbits < width {
+		r.refill()
+	}
+	return r.bitbuf >> (64 - width)
+}
+
+// skip consumes width bits; the caller must have peeked at least that many.
+func (r *BitReader) skip(width uint) {
+	r.bitbuf <<= width
+	r.nbits -= width
+	r.pos += int(width)
+}
+
+// ReadBit returns the next bit. Reading past the end returns zero bits.
+func (r *BitReader) ReadBit() uint8 {
+	if r.nbits == 0 {
+		r.refill()
+	}
+	b := uint8(r.bitbuf >> 63)
+	r.bitbuf <<= 1
+	r.nbits--
 	r.pos++
 	return b
 }
 
-// ReadBits reads width bits, most significant first.
+// ReadBits reads width bits, most significant first. Widths above 64 keep
+// only the last 64 bits read (the earlier ones shift out), like the
+// bit-at-a-time formulation.
 func (r *BitReader) ReadBits(width uint) uint64 {
-	var v uint64
-	for i := uint(0); i < width; i++ {
-		v = v<<1 | uint64(r.ReadBit())
+	for width > 64 {
+		r.ReadBit()
+		width--
 	}
+	if width > 32 {
+		hi := r.readSmall(width - 32)
+		return hi<<32 | r.readSmall(32)
+	}
+	return r.readSmall(width)
+}
+
+// readSmall extracts up to 32 bits from the refill buffer in one shift.
+func (r *BitReader) readSmall(width uint) uint64 {
+	if width == 0 {
+		return 0
+	}
+	if r.nbits < width {
+		r.refill()
+	}
+	v := r.bitbuf >> (64 - width)
+	r.bitbuf <<= width
+	r.nbits -= width
+	r.pos += int(width)
 	return v
 }
 
@@ -103,4 +176,19 @@ func (r *BitReader) ReadBits(width uint) uint64 {
 func (r *BitReader) BitsRead() int { return r.pos }
 
 // Seek positions the reader at an absolute bit offset.
-func (r *BitReader) Seek(bitPos int) { r.pos = bitPos }
+func (r *BitReader) Seek(bitPos int) {
+	r.pos = bitPos
+	r.bp = bitPos >> 3
+	r.bitbuf = 0
+	r.nbits = 0
+	if k := uint(bitPos & 7); k != 0 {
+		var b byte
+		if r.bp >= 0 && r.bp < len(r.buf) {
+			b = r.buf[r.bp]
+		}
+		r.bp++
+		// Drop the k already-consumed top bits of the straddled byte.
+		r.bitbuf = uint64(b) << (56 + k)
+		r.nbits = 8 - k
+	}
+}

@@ -1,0 +1,148 @@
+package huffman
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refReader is the original bit-at-a-time BitReader, kept verbatim as the
+// specification for the word-buffered implementation: the observable stream
+// (bit values, consumed-bit count, zero fill past the end) must match it on
+// every operation sequence.
+type refReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *refReader) ReadBit() uint8 {
+	byteIdx := r.pos >> 3
+	bitIdx := 7 - uint(r.pos&7)
+	r.pos++
+	if byteIdx >= len(r.buf) {
+		return 0
+	}
+	return r.buf[byteIdx] >> bitIdx & 1
+}
+
+func (r *refReader) ReadBits(width uint) uint64 {
+	var v uint64
+	for i := uint(0); i < width; i++ {
+		v = v<<1 | uint64(r.ReadBit())
+	}
+	return v
+}
+
+func (r *refReader) BitsRead() int { return r.pos }
+
+func (r *refReader) Seek(bitPos int) { r.pos = bitPos }
+
+func equivBuf(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	buf := make([]byte, n)
+	rng.Read(buf)
+	return buf
+}
+
+// TestReadBitsEquivalence drives every width 0..64 from every bit offset
+// 0..len mod small primes, comparing value and position against the
+// reference, including reads that straddle byte boundaries and reads that
+// run past the end of the buffer into the implicit zero fill.
+func TestReadBitsEquivalence(t *testing.T) {
+	buf := equivBuf(67, 1) // odd length so wide widths hit the tail path
+	for width := uint(0); width <= 64; width++ {
+		for start := 0; start <= 8*len(buf)+70; start += 7 {
+			fast := NewBitReader(buf)
+			fast.Seek(start)
+			ref := &refReader{buf: buf}
+			ref.Seek(start)
+			got, want := fast.ReadBits(width), ref.ReadBits(width)
+			if got != want {
+				t.Fatalf("ReadBits(%d) from bit %d = %#x, reference %#x", width, start, got, want)
+			}
+			if fast.BitsRead() != ref.BitsRead() {
+				t.Fatalf("ReadBits(%d) from bit %d consumed %d bits, reference %d", width, start, fast.BitsRead(), ref.BitsRead())
+			}
+		}
+	}
+}
+
+// TestReadBitsWideWidths checks the >64 behaviour: earlier bits shift out
+// and only the last 64 survive, exactly as the bit-at-a-time formulation.
+func TestReadBitsWideWidths(t *testing.T) {
+	buf := equivBuf(32, 2)
+	for _, width := range []uint{65, 72, 100, 128} {
+		fast := NewBitReader(buf)
+		ref := &refReader{buf: buf}
+		if got, want := fast.ReadBits(width), ref.ReadBits(width); got != want {
+			t.Fatalf("ReadBits(%d) = %#x, reference %#x", width, got, want)
+		}
+		if fast.BitsRead() != int(width) {
+			t.Fatalf("ReadBits(%d) consumed %d bits", width, fast.BitsRead())
+		}
+	}
+}
+
+// TestReadMixedSequence interleaves ReadBit, ReadBits of random widths, and
+// Seek, checking lockstep agreement with the reference over a long random
+// operation tape (which exercises every refill alignment).
+func TestReadMixedSequence(t *testing.T) {
+	buf := equivBuf(257, 3)
+	rng := rand.New(rand.NewSource(4))
+	fast := NewBitReader(buf)
+	ref := &refReader{buf: buf}
+	for op := 0; op < 20000; op++ {
+		switch rng.Intn(10) {
+		case 0: // seek somewhere, sometimes unaligned, sometimes past the end
+			p := rng.Intn(8*len(buf) + 100)
+			fast.Seek(p)
+			ref.Seek(p)
+		case 1, 2, 3:
+			if got, want := fast.ReadBit(), ref.ReadBit(); got != want {
+				t.Fatalf("op %d: ReadBit at %d = %d, reference %d", op, ref.BitsRead()-1, got, want)
+			}
+		default:
+			w := uint(rng.Intn(65))
+			if got, want := fast.ReadBits(w), ref.ReadBits(w); got != want {
+				t.Fatalf("op %d: ReadBits(%d) at %d = %#x, reference %#x", op, w, ref.BitsRead()-int(w), got, want)
+			}
+		}
+		if fast.BitsRead() != ref.BitsRead() {
+			t.Fatalf("op %d: position %d, reference %d", op, fast.BitsRead(), ref.BitsRead())
+		}
+	}
+}
+
+// TestPastEndZeroFill confirms that any read past the end yields zero bits
+// forever and keeps counting positions.
+func TestPastEndZeroFill(t *testing.T) {
+	buf := []byte{0xFF, 0xFF}
+	r := NewBitReader(buf)
+	if got := r.ReadBits(16); got != 0xFFFF {
+		t.Fatalf("in-bounds read = %#x", got)
+	}
+	for i := 0; i < 200; i++ {
+		if b := r.ReadBit(); b != 0 {
+			t.Fatalf("bit %d past end = %d, want 0", i, b)
+		}
+	}
+	if got := r.ReadBits(64); got != 0 {
+		t.Fatalf("wide read past end = %#x, want 0", got)
+	}
+	if r.BitsRead() != 16+200+64 {
+		t.Fatalf("BitsRead = %d", r.BitsRead())
+	}
+}
+
+// TestSeekStraddle seeks to every bit offset of a small buffer and reads a
+// byte-straddling field, comparing against the reference.
+func TestSeekStraddle(t *testing.T) {
+	buf := equivBuf(16, 5)
+	for p := 0; p < 8*len(buf); p++ {
+		fast := NewBitReader(buf)
+		fast.Seek(p)
+		ref := &refReader{buf: buf, pos: p}
+		if got, want := fast.ReadBits(13), ref.ReadBits(13); got != want {
+			t.Fatalf("Seek(%d)+ReadBits(13) = %#x, reference %#x", p, got, want)
+		}
+	}
+}

@@ -25,6 +25,8 @@ type Code struct {
 
 	// enc maps a value to its codeword; derived from N and D on demand.
 	enc map[uint32]codeword
+	// dec is the first-K-bits decode table (decode.go), derived on demand.
+	dec *decTable
 }
 
 type codeword struct {
@@ -166,13 +168,17 @@ func (c *Code) buildEncoder() {
 	}
 }
 
-// Prime materializes the encoder table eagerly. Encode and CodeLen build it
-// lazily on first use, which is a data race if a shared Code is first used
-// from concurrent encoders; callers that fan encoding out across goroutines
-// must Prime each code beforehand.
+// Prime materializes the encoder map and the decode table eagerly. Encode,
+// CodeLen, and Decode build them lazily on first use, which is a data race
+// if a shared Code is first used from concurrent encoders or decoders;
+// callers that fan coding out across goroutines must Prime each code
+// beforehand.
 func (c *Code) Prime() {
 	if c.enc == nil {
 		c.buildEncoder()
+	}
+	if c.dec == nil {
+		c.buildDecoder()
 	}
 }
 
@@ -203,8 +209,9 @@ func (c *Code) CodeLen(v uint32) int {
 // bit stream and the code disagree.
 var ErrBadCode = errors.New("huffman: invalid codeword in stream")
 
-// Decode reads one codeword from r and returns its value. This is a direct
-// transcription of the paper's DECODE() procedure:
+// DecodeTree reads one codeword from r and returns its value. This is a
+// direct transcription of the paper's DECODE() procedure, consuming one bit
+// per iteration:
 //
 //	v <- 0, b <- 0, j <- 0, i <- 0
 //	do
@@ -214,7 +221,11 @@ var ErrBadCode = errors.New("huffman: invalid codeword in stream")
 //	    i <- i + 1
 //	while v >= b + N[i]
 //	return D[j + v - b]
-func (c *Code) Decode(r *BitReader) (uint32, error) {
+//
+// It is the reference decoder: Decode (decode.go) resolves short codewords
+// by table lookup and delegates long ones here, and the fast-path-disabled
+// runtime mode uses it exclusively.
+func (c *Code) DecodeTree(r *BitReader) (uint32, error) {
 	if len(c.D) == 0 {
 		return 0, ErrBadCode
 	}

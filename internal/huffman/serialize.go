@@ -98,6 +98,7 @@ func (c *Code) UnmarshalBinary(data []byte) error {
 		return fmt.Errorf("huffman: %d trailing bytes after code table", len(data)-pos)
 	}
 	c.enc = nil
+	c.dec = nil
 	return nil
 }
 

@@ -48,7 +48,17 @@ type Compressor struct {
 	codes     [isa.NumStreams]*huffman.Code
 	alphabets [isa.NumStreams][]uint32
 	opts      Options
+
+	// slowDecode routes every field decode through the reference bit-at-a-
+	// time decoder (huffman.Code.DecodeTree) instead of the table-driven
+	// one. Both consume identical bits; the switch exists so the runtime's
+	// fast-path-disabled mode can demonstrate that end to end.
+	slowDecode bool
 }
+
+// SetSlowDecode selects the reference Huffman decoder for all subsequent
+// Decompress calls (true) or the table-driven one (false, the default).
+func (c *Compressor) SetSlowDecode(v bool) { c.slowDecode = v }
 
 // sentinelInst is the region terminator as seen by the field splitter.
 var sentinelInst = isa.Inst{Op: isa.OpIllegal, Format: isa.FormatIllegal}
@@ -235,7 +245,13 @@ func (c *Compressor) Decompress(blob []byte, bitOff int, emit func(isa.Inst) err
 	r.Seek(bitOff)
 	mtf := c.newMTF()
 	decodeField := func(k isa.StreamKind) (uint32, error) {
-		v, err := c.codes[k].Decode(r)
+		var v uint32
+		var err error
+		if c.slowDecode {
+			v, err = c.codes[k].DecodeTree(r)
+		} else {
+			v, err = c.codes[k].Decode(r)
+		}
 		if err != nil {
 			return 0, fmt.Errorf("streamcomp: %v stream: %w", k, err)
 		}

@@ -1,0 +1,67 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/objfile"
+)
+
+// stepBenchProgram is an endless loop mixing the instruction classes that
+// dominate real EM32 traces: ALU ops, a load/store pair, a compare, and a
+// taken branch. It never halts, so the benchmark can call Step b.N times
+// without resetting the machine.
+const stepBenchProgram = `
+        .text
+        .func main
+        li   t0, 0
+        la   t1, buf
+loop:   add  t0, 1, t0
+        and  t0, 63, t2
+        stw  t2, 0(t1)
+        ldw  t3, 0(t1)
+        add  t3, t2, t3
+        cmpult t2, 32, t4
+        beq  t4, skip
+        add  t3, 1, t3
+skip:   br   loop
+
+        .data
+buf:    .word 0
+`
+
+func stepBenchMachine(b *testing.B) *Machine {
+	b.Helper()
+	obj, err := asm.Assemble(stepBenchProgram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := objfile.Link("main", obj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return New(im, nil)
+}
+
+// BenchmarkVMStep measures the simulator's per-instruction cost: fetch,
+// decode (or predecoded-cache hit), and execute of one instruction. The
+// fast and slow sub-benchmarks run the identical program in one process, so
+// their ratio is robust against machine-load noise in a way two separate
+// runs are not; BENCH_fastpath.json records both.
+func BenchmarkVMStep(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{{"fast", false}, {"slow", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			m := stepBenchMachine(b)
+			m.DisableFastPath = mode.disable
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := m.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -13,6 +13,7 @@
 package vm
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -87,6 +88,12 @@ type Machine struct {
 	StackCheck bool
 	SPTrace    []int32
 
+	// DisableFastPath forces every step through the reference decode and
+	// dispatch path (stepSlow/ExecInst). Simulated state — registers,
+	// memory, cycles, instruction counts, traps — is identical either way;
+	// the flag exists so tests and the CI guard can assert that.
+	DisableFastPath bool
+
 	// textWords is the extent of the text section in words, used for
 	// profile bounds and the decode cache.
 	textWords int
@@ -94,12 +101,24 @@ type Machine struct {
 	// Decode cache over the text segment, invalidated on stores.
 	icache []cachedInst
 
+	// Cached Hook.Range() so the hot loop avoids an interface call per
+	// step; recomputed whenever the installed hook changes.
+	hookSrc Hook
+	hookLo  uint32
+	hookHi  uint32
+
 	jmp *jmpState
 }
 
+// cachedInst is one decode-cache entry: the decoded instruction plus its
+// predecoded µop form (see fastpath.go). Both are filled together by
+// predecode and dropped together by the invalidation points; kind doubles
+// as the valid flag (uInvalid marks an empty or invalidated entry).
 type cachedInst struct {
-	valid bool
-	inst  isa.Inst
+	kind       uint8 // µop kind (uSlow routes through ExecInst)
+	ra, rb, rc uint8
+	imm        int32 // folded immediate: disp, disp<<16, lit, or disp*4
+	inst       isa.Inst
 }
 
 type jmpState struct {
@@ -140,7 +159,7 @@ func (m *Machine) EnableProfile() {
 func (m *Machine) InvalidateRange(lo, hi uint32) {
 	for a := lo &^ 3; a < hi; a += isa.WordSize {
 		if idx := int(a-objfile.TextBase) / isa.WordSize; idx >= 0 && idx < len(m.icache) {
-			m.icache[idx].valid = false
+			m.icache[idx].kind = uInvalid
 		}
 	}
 }
@@ -167,20 +186,17 @@ func (m *Machine) WriteWord(addr uint32, v uint32) error {
 	}
 	putWord(m.Mem, addr, v)
 	if idx := int(addr-objfile.TextBase) / isa.WordSize; idx >= 0 && idx < len(m.icache) {
-		m.icache[idx].valid = false
+		m.icache[idx].kind = uInvalid
 	}
 	return nil
 }
 
 func getWord(mem []byte, a uint32) uint32 {
-	return uint32(mem[a]) | uint32(mem[a+1])<<8 | uint32(mem[a+2])<<16 | uint32(mem[a+3])<<24
+	return binary.LittleEndian.Uint32(mem[a:])
 }
 
 func putWord(mem []byte, a uint32, v uint32) {
-	mem[a] = byte(v)
-	mem[a+1] = byte(v >> 8)
-	mem[a+2] = byte(v >> 16)
-	mem[a+3] = byte(v >> 24)
+	binary.LittleEndian.PutUint32(mem[a:], v)
 }
 
 // fetch decodes the instruction at pc, consulting the decode cache.
@@ -189,7 +205,7 @@ func (m *Machine) fetch(pc uint32) (isa.Inst, error) {
 		return isa.Inst{}, &TrapError{pc, "unaligned instruction fetch"}
 	}
 	idx := int(pc-objfile.TextBase) / isa.WordSize
-	if idx >= 0 && idx < len(m.icache) && m.icache[idx].valid {
+	if idx >= 0 && idx < len(m.icache) && m.icache[idx].kind != uInvalid {
 		return m.icache[idx].inst, nil
 	}
 	if pc+4 > uint32(len(m.Mem)) {
@@ -197,7 +213,7 @@ func (m *Machine) fetch(pc uint32) (isa.Inst, error) {
 	}
 	in := isa.Decode(getWord(m.Mem, pc))
 	if idx >= 0 && idx < len(m.icache) {
-		m.icache[idx] = cachedInst{valid: true, inst: in}
+		predecode(&m.icache[idx], in)
 	}
 	return in, nil
 }
@@ -219,14 +235,10 @@ func (m *Machine) Run() error {
 	return nil
 }
 
-// Step executes a single instruction (or a hook entry).
-func (m *Machine) Step() error {
-	pc := m.PC
-	if m.Hook != nil {
-		if lo, hi := m.Hook.Range(); pc >= lo && pc < hi {
-			return m.Hook.Enter(m)
-		}
-	}
+// stepSlow is the reference step: fetch (decode cache aside), cache model,
+// profile, ExecInst. It preserves the pre-fast-path semantics exactly and
+// handles every case the fast path does not.
+func (m *Machine) stepSlow(pc uint32) error {
 	in, err := m.fetch(pc)
 	if err != nil {
 		return err
@@ -252,6 +264,12 @@ func (m *Machine) Step() error {
 // instructions at virtual addresses without materializing them in memory).
 func (m *Machine) ExecInst(in isa.Inst, pc uint32) (uint32, error) {
 	m.Instructions++
+	return m.exec(&in, pc)
+}
+
+// exec is ExecInst without the instruction-count bump; the fast path counts
+// before dispatching and routes its uSlow case here.
+func (m *Machine) exec(in *isa.Inst, pc uint32) (uint32, error) {
 	next := pc + isa.WordSize
 
 	switch in.Format {
@@ -297,7 +315,7 @@ func (m *Machine) ExecInst(in isa.Inst, pc uint32) (uint32, error) {
 			}
 			m.Mem[addr] = byte(m.Reg[in.RA])
 			if idx := int(addr&^3-objfile.TextBase) / isa.WordSize; idx >= 0 && idx < len(m.icache) {
-				m.icache[idx].valid = false
+				m.icache[idx].kind = uInvalid
 			}
 			m.Cycles += CostMem
 		}
@@ -350,7 +368,7 @@ func (m *Machine) ExecInst(in isa.Inst, pc uint32) (uint32, error) {
 		next = target
 		m.Cycles += CostJump
 	case isa.FormatIllegal:
-		return 0, &TrapError{pc, fmt.Sprintf("illegal instruction %#08x", isa.Encode(in))}
+		return 0, &TrapError{pc, fmt.Sprintf("illegal instruction %#08x", isa.Encode(*in))}
 	}
 	return next, nil
 }

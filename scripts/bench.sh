@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# bench.sh — run the fast-path microbenchmarks in a benchstat-friendly way.
+#
+# Each benchmark is a fast/slow pair executed in the same process
+# (BenchmarkVMStep/{fast,slow}, BenchmarkHuffmanDecode/{table,tree},
+# BenchmarkRegionDecompress/{memo,decode}), so the within-run ratio is
+# meaningful even on noisy shared machines. -count repetitions give
+# benchstat enough samples for a confidence interval:
+#
+#   scripts/bench.sh > new.txt
+#   benchstat old.txt new.txt        # or: benchstat new.txt  (ratios only)
+#
+# COUNT=1 scripts/bench.sh gives a quick single pass (CI uses this).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-6}"
+BENCHTIME="${BENCHTIME:-1s}"
+
+go test -run '^$' \
+  -bench 'BenchmarkVMStep|BenchmarkHuffmanDecode|BenchmarkBitReaderReadBits|BenchmarkRegionDecompress' \
+  -benchtime "$BENCHTIME" -count "$COUNT" \
+  ./internal/vm/ ./internal/huffman/ ./internal/core/

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# fastpath_guard.sh — end-to-end proof that the fast-path engine changes
+# nothing observable. For a set of mediabench programs it runs the full
+# pipeline (emit → assemble → profile → squash), then executes each squashed
+# image twice — default fast paths vs em-run -nofastpath — and requires:
+#
+#   1. identical squashed-image SHA-256 (squash itself never depends on the
+#      fast paths; this also re-checks PR 1's determinism gate output),
+#   2. byte-identical program output,
+#   3. identical -stats lines: instructions, cycles, decompression counts,
+#      and compressed bits read must match to the digit.
+#
+# Usage: scripts/fastpath_guard.sh [bench ...]   (default: adpcm g721_enc gsm)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benches=("$@")
+[ ${#benches[@]} -gt 0 ] || benches=(adpcm g721_enc gsm)
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "building tools..."
+go build -o "$work" ./cmd/mediabench ./cmd/em-as ./cmd/em-run ./cmd/squash
+
+for b in "${benches[@]}"; do
+  echo "== $b =="
+  "$work/mediabench" -only "$b" -dir "$work"
+  "$work/em-as" -o "$work/$b.o" "$work/$b.s"
+  "$work/em-as" -link -o "$work/$b.exe" "$work/$b.s"
+  "$work/em-run" -in "$work/$b.prof.in" -profile "$work/$b.prof" \
+    "$work/$b.exe" > /dev/null
+
+  # Squash twice to confirm the image is reproducible, then hash it.
+  "$work/squash" -profile "$work/$b.prof" -o "$work/$b.sqz.exe" "$work/$b.o"
+  "$work/squash" -profile "$work/$b.prof" -o "$work/$b.sqz2.exe" "$work/$b.o"
+  h1=$(sha256sum "$work/$b.sqz.exe" | cut -d' ' -f1)
+  h2=$(sha256sum "$work/$b.sqz2.exe" | cut -d' ' -f1)
+  if [ "$h1" != "$h2" ]; then
+    echo "FAIL: $b squashed image not reproducible ($h1 vs $h2)" >&2
+    exit 1
+  fi
+  echo "$b squashed image sha256 $h1"
+
+  # Run with fast paths (default) and with every fast path disabled; the
+  # exit status, output bytes, and stats must be identical.
+  set +e
+  "$work/em-run" -stats -in "$work/$b.time.in" "$work/$b.sqz.exe" \
+    > "$work/$b.fast.out" 2> "$work/$b.fast.stats"
+  fast_status=$?
+  "$work/em-run" -stats -nofastpath -in "$work/$b.time.in" "$work/$b.sqz.exe" \
+    > "$work/$b.slow.out" 2> "$work/$b.slow.stats"
+  slow_status=$?
+  set -e
+  if [ "$fast_status" != "$slow_status" ]; then
+    echo "FAIL: $b exit status $fast_status (fast) vs $slow_status (-nofastpath)" >&2
+    exit 1
+  fi
+  cmp "$work/$b.fast.out" "$work/$b.slow.out" || {
+    echo "FAIL: $b output differs with -nofastpath" >&2; exit 1; }
+  diff "$work/$b.fast.stats" "$work/$b.slow.stats" || {
+    echo "FAIL: $b simulated stats differ with -nofastpath" >&2; exit 1; }
+  sed 's/^/  /' "$work/$b.fast.stats"
+done
+
+echo "fastpath guard passed: ${benches[*]}"
