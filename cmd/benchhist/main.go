@@ -1,0 +1,74 @@
+// Command benchhist records paired fast/slow benchmark ratios per commit
+// and enforces their regression floors. CI pipes the output of
+// scripts/bench.sh into it:
+//
+//	scripts/bench.sh | tee bench.txt
+//	benchhist -in bench.txt -history BENCH_history.json -commit "$GITHUB_SHA"
+//
+// The ratio of each pair (slow ns/op over fast ns/op, medians across
+// -count repetitions) is appended to the history file and checked against
+// its floor; a regression exits nonzero *after* recording the entry, so the
+// history also documents the failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/benchhist"
+)
+
+func main() {
+	in := flag.String("in", "-", "benchmark output file from `go test -bench` ('-' = stdin)")
+	history := flag.String("history", "BENCH_history.json", "history file to append to")
+	commit := flag.String("commit", os.Getenv("GITHUB_SHA"), "commit hash to record (default $GITHUB_SHA)")
+	date := flag.String("date", time.Now().UTC().Format("2006-01-02"), "date to record (UTC)")
+	noCheck := flag.Bool("no-check", false, "record ratios without enforcing regression floors")
+	flag.Parse()
+	if *commit == "" {
+		*commit = "unknown"
+	}
+
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	samples, err := benchhist.ParseNsPerOp(r)
+	if err != nil {
+		fail(err)
+	}
+	pairs := benchhist.DefaultPairs()
+	entries, err := benchhist.Ratios(samples, pairs, *commit, *date)
+	if err != nil {
+		fail(err)
+	}
+	if err := benchhist.Append(*history, entries); err != nil {
+		fail(err)
+	}
+	floors := map[string]float64{}
+	for _, p := range pairs {
+		floors[p.Name] = p.Min
+	}
+	for _, e := range entries {
+		fmt.Printf("%-22s %6.2fx  (floor %.2fx)\n", e.Benchmark, e.Ratio, floors[e.Benchmark])
+	}
+	fmt.Printf("recorded %d ratios for %s in %s\n", len(entries), *commit, *history)
+	if !*noCheck {
+		if err := benchhist.Check(entries, pairs); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchhist:", err)
+	os.Exit(1)
+}

@@ -23,6 +23,7 @@ func main() {
 	out := flag.String("o", "", "also write the report to this file")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	workers := flag.Int("workers", 0, "worker goroutines for suite preparation and matrix cells (0 = one per CPU, 1 = serial); results are identical at any count")
+	cache := flag.String("cache", "", "directory for the content-keyed preparation cache: assembled+squeezed objects and profiles are reused across runs while programs and inputs are unchanged (delete the directory after toolchain changes)")
 	flag.Parse()
 
 	if *list {
@@ -31,11 +32,12 @@ func main() {
 	}
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "preparing suite (scale %.2f): generate, assemble, squeeze, profile...\n", *scale)
-	suite, err := experiments.LoadWorkers(*scale, *workers)
+	suite, err := experiments.LoadCached(*scale, *workers, *cache)
 	if err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "suite ready in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "suite ready in %v (%d/%d benchmarks from cache)\n",
+		time.Since(start).Round(time.Millisecond), suite.PrepCacheHits, len(suite.Benches))
 
 	report, err := experiments.Run(suite, *exp)
 	if err != nil {

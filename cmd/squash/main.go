@@ -33,6 +33,7 @@ func main() {
 	noBufferSafe := flag.Bool("no-buffersafe", false, "disable buffer-safe call analysis")
 	noUnswitch := flag.Bool("no-unswitch", false, "disable jump-table unswitching")
 	mtf := flag.Bool("mtf", false, "use the move-to-front stream coder variant")
+	coder := flag.String("coder", "stream", "region coder: stream (split-stream, §3) or lz (dictionary, §8)")
 	ctStubs := flag.Bool("compile-time-stubs", false, "materialize restore stubs statically (ablation)")
 	stubCap := flag.Int("stub-capacity", 16, "runtime restore-stub slots")
 	workers := flag.Int("workers", 0, "worker goroutines for the squash pipeline (0 = one per CPU, 1 = serial); output is byte-identical at any count")
@@ -66,6 +67,7 @@ func main() {
 		BufferSafe:              !*noBufferSafe,
 		Unswitch:                !*noUnswitch,
 		MTF:                     *mtf,
+		Coder:                   coderID(*coder),
 		Interpret:               *interpret,
 		CompileTimeRestoreStubs: *ctStubs,
 		StubCapacity:            *stubCap,
@@ -125,6 +127,18 @@ func main() {
 			}
 			fmt.Printf("    %s\n", w)
 		}
+	}
+}
+
+func coderID(name string) int {
+	switch name {
+	case "stream":
+		return core.CoderStream
+	case "lz":
+		return core.CoderLZ
+	default:
+		fail(fmt.Errorf("unknown coder %q (want stream or lz)", name))
+		return 0
 	}
 }
 

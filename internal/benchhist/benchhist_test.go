@@ -1,0 +1,122 @@
+package benchhist
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/vm
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkVMStep/fast-8         	201182786	         5.90 ns/op
+BenchmarkVMStep/fast-8         	202000000	         6.10 ns/op
+BenchmarkVMStep/fast-8         	198000000	         5.80 ns/op
+BenchmarkVMStep/slow-8         	 93070840	        12.77 ns/op
+BenchmarkVMStep/slow-8         	 92000000	        13.03 ns/op
+BenchmarkVMStep/slow-8         	 95000000	        12.50 ns/op
+BenchmarkHuffmanDecode/table-8 	126620407	         9.33 ns/op	 107.20 MB/s
+BenchmarkHuffmanDecode/tree-8  	 28580395	        42.07 ns/op	  23.77 MB/s
+PASS
+ok  	repro/internal/vm	12.290s
+`
+
+func TestParseNsPerOp(t *testing.T) {
+	samples, err := ParseNsPerOp(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(samples["BenchmarkVMStep/fast"]); got != 3 {
+		t.Fatalf("fast samples = %d, want 3 (got map %v)", got, samples)
+	}
+	if got := samples["BenchmarkHuffmanDecode/tree"]; len(got) != 1 || got[0] != 42.07 {
+		t.Fatalf("tree samples = %v", got)
+	}
+	if _, ok := samples["BenchmarkVMStep/fast-8"]; ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+}
+
+func TestRatiosAndCheck(t *testing.T) {
+	samples, err := ParseNsPerOp(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := []Pair{
+		{Name: "vm-step", Fast: "BenchmarkVMStep/fast", Slow: "BenchmarkVMStep/slow", Min: 1.3},
+		{Name: "huffman-decode", Fast: "BenchmarkHuffmanDecode/table", Slow: "BenchmarkHuffmanDecode/tree", Min: 2.0},
+	}
+	entries, err := Ratios(samples, pairs, "abc123", "2026-08-05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("%d entries", len(entries))
+	}
+	// Medians: fast 5.90, slow 12.77 → ratio ~2.164.
+	if r := entries[0].Ratio; r < 2.1 || r > 2.2 {
+		t.Fatalf("vm-step ratio %.3f", r)
+	}
+	if entries[0].Commit != "abc123" || entries[0].Date != "2026-08-05" || entries[0].Benchmark != "vm-step" {
+		t.Fatalf("entry metadata: %+v", entries[0])
+	}
+	if err := Check(entries, pairs); err != nil {
+		t.Fatalf("Check on healthy ratios: %v", err)
+	}
+	strict := []Pair{{Name: "vm-step", Min: 5.0}}
+	if err := Check(entries, strict); err == nil {
+		t.Fatal("Check missed a regression")
+	}
+
+	missing := append(pairs, Pair{Name: "ghost", Fast: "BenchmarkGhost/fast", Slow: "BenchmarkGhost/slow", Min: 1})
+	if _, err := Ratios(samples, missing, "c", "d"); err == nil {
+		t.Fatal("missing benchmark accepted")
+	}
+}
+
+func TestAppendRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.json")
+	if entries, err := Read(path); err != nil || entries != nil {
+		t.Fatalf("missing history: %v, %v", entries, err)
+	}
+	first := []Entry{{Commit: "aaa", Date: "2026-08-01", Benchmark: "vm-step", Ratio: 2.1}}
+	if err := Append(path, first); err != nil {
+		t.Fatal(err)
+	}
+	second := []Entry{
+		{Commit: "bbb", Date: "2026-08-05", Benchmark: "vm-step", Ratio: 2.2},
+		{Commit: "bbb", Date: "2026-08-05", Benchmark: "huffman-decode", Ratio: 4.4},
+	}
+	if err := Append(path, second); err != nil {
+		t.Fatal(err)
+	}
+	all, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("history has %d entries, want 3", len(all))
+	}
+	if all[0].Commit != "aaa" || all[2].Benchmark != "huffman-decode" {
+		t.Fatalf("history order wrong: %+v", all)
+	}
+}
+
+func TestDefaultPairsCoverFastPaths(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range DefaultPairs() {
+		if p.Min <= 1.0 {
+			t.Errorf("%s: floor %.2f would accept a fast path slower than the reference", p.Name, p.Min)
+		}
+		if names[p.Name] {
+			t.Errorf("duplicate pair %s", p.Name)
+		}
+		names[p.Name] = true
+	}
+	for _, want := range []string{"vm-step", "huffman-decode", "region-decompress", "interp-region-exec", "lz-decode-adpcm", "lz-decode-dictheavy"} {
+		if !names[want] {
+			t.Errorf("pair %s missing", want)
+		}
+	}
+}

@@ -43,6 +43,64 @@ func benchRuntime(b *testing.B) (*Runtime, *vm.Machine) {
 	return rt, m
 }
 
+// BenchmarkInterpRegionExec measures one interpret-in-place region visit
+// (§8): enter a region and interpret its instructions until control leaves
+// it. With the fast path off ("decode") every entry re-decodes the whole
+// region through the reference bit-at-a-time decoder; with it on ("memo")
+// the entry replays the per-region decoded-instruction memo. Simulated
+// cycles and stats are identical in both modes; the pair isolates the
+// host-side cost of per-entry re-decoding, which dominates exactly when
+// region visits are brief — the interpreter's characteristic workload.
+func BenchmarkInterpRegionExec(b *testing.B) {
+	obj, err := asm.Assemble(testProgram)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := objfile.Link("main", obj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pm := vm.New(im, profInput)
+	pm.EnableProfile()
+	if err := pm.Run(); err != nil {
+		b.Fatal(err)
+	}
+	out, err := Squash(obj, pm.Profile, interpConf(1, 96))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		fast bool
+	}{{"memo", true}, {"decode", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			rt, err := NewRuntime(out.Meta)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rt.SetFastPath(mode.fast)
+			m := vm.New(out.Image, nil)
+			rt.Install(m)
+			reg, pc0, cyc0 := m.Reg, m.PC, m.Cycles
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := rt.startInterp(m, 0, 1); err != nil {
+					b.Fatal(err)
+				}
+				for steps := 0; rt.interp.active && !m.Halted && steps < 64; steps++ {
+					if err := rt.interpStep(m); err != nil {
+						b.Fatal(err)
+					}
+				}
+				// Rewind the visit so every iteration does identical work.
+				m.Reg, m.PC, m.Cycles, m.Halted = reg, pc0, cyc0, false
+				rt.interp = interpState{}
+				rt.icur = nil
+			}
+		})
+	}
+}
+
 // BenchmarkRegionDecompress measures one region fill of the runtime buffer:
 // Huffman-decoding the region's split streams ("decode", fast paths off) or
 // replaying the memoized emission ("memo"). Paired sub-benchmarks in one

@@ -6,11 +6,19 @@ import (
 
 	"repro/internal/cfg"
 	"repro/internal/isa"
+	"repro/internal/lzcomp"
 	"repro/internal/objfile"
 	"repro/internal/parallel"
 	"repro/internal/regions"
 	"repro/internal/streamcomp"
 )
+
+// regionEncoder is what Phase 3 needs from a trained region coder; both
+// streamcomp and lzcomp compressors satisfy it.
+type regionEncoder interface {
+	CompressAll(seqs [][]isa.Inst, workers int) (blob []byte, offsets []uint32, err error)
+	MarshalBinary() ([]byte, error)
+}
 
 // Reserved symbol names introduced by the rewriter.
 const (
@@ -193,7 +201,15 @@ func (e *encoder) run(stats *Stats) (*Output, error) {
 	}); err != nil {
 		return nil, err
 	}
-	comp := streamcomp.Train(seqs, streamcomp.Options{MTF: e.conf.MTF, Workers: e.conf.Workers})
+	var comp regionEncoder
+	switch e.conf.Coder {
+	case CoderStream:
+		comp = streamcomp.Train(seqs, streamcomp.Options{MTF: e.conf.MTF, Workers: e.conf.Workers})
+	case CoderLZ:
+		comp = lzcomp.Train(seqs)
+	default:
+		return nil, fmt.Errorf("unknown region coder %d", e.conf.Coder)
+	}
 	blob, offsets, err := comp.CompressAll(seqs, e.conf.Workers)
 	if err != nil {
 		return nil, err
@@ -226,6 +242,7 @@ func (e *encoder) run(stats *Stats) (*Output, error) {
 		RtBufAddr:    addrOf[symRtBuf],
 		K:            e.conf.Regions.K,
 		Interpret:    e.conf.Interpret,
+		Coder:        e.conf.Coder,
 		OffsetTable:  offsets,
 		Blob:         blob,
 		Tables:       tables,

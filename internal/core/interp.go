@@ -28,15 +28,31 @@ import (
 //     which is exactly the §8 trade-off: no buffer and no decompression
 //     latency, but cold code runs slower every time it executes.
 //
-// The decoded regions are cached Go-side for simulation speed, just as the
-// decompressor runs natively; the model charges the per-execution decode
-// work through the cycle counter.
+// Host-side, region decoding mirrors the buffer runtime's fast-path split
+// (decompressAndJump): with the fast path on, a region is decoded once on
+// first entry and the decoded instruction list is memoized in rt.imemo;
+// with the fast path off, every entry re-decodes the region through the
+// reference bit-at-a-time decoder. The simulated cost model cannot tell the
+// difference — interpretation charges per *executed* instruction, never per
+// decoded bit — so cycles, stats, and outputs are byte-identical either way.
 
 // interpRegion is the decoded form of one region plus its offset index.
 type interpRegion struct {
-	insts    []isa.Inst
-	offs     []int       // buffer word offset of each instruction
-	offToIdx map[int]int // inverse of offs
+	insts []isa.Inst
+	offs  []int32 // buffer word offset of each instruction
+	// offIdx maps a buffer word offset to its instruction index, densely
+	// (-1 marks offsets inside a two-word expanded call, which are not
+	// instruction boundaries). It replaces a map so the per-branch lookup
+	// in interpStep is an array load.
+	offIdx []int32
+}
+
+// idxOf resolves a buffer word offset to an instruction index.
+func (ir *interpRegion) idxOf(off int) (int, bool) {
+	if off < 0 || off >= len(ir.offIdx) || ir.offIdx[off] < 0 {
+		return 0, false
+	}
+	return int(ir.offIdx[off]), true
 }
 
 // interpState is the interpreter's current position.
@@ -52,30 +68,54 @@ func (rt *Runtime) interpPC() uint32 {
 	return rt.meta.DecompAddr + NumEntryRegs*isa.WordSize
 }
 
-// loadInterpRegions decodes every region once and builds the offset
-// indices.
-func (rt *Runtime) loadInterpRegions() error {
-	rt.iregions = make([]*interpRegion, len(rt.meta.OffsetTable))
-	for id, off := range rt.meta.OffsetTable {
-		ir := &interpRegion{offToIdx: map[int]int{}}
-		pos := 1
-		_, err := rt.comp.Decompress(rt.meta.Blob, int(off), func(in isa.Inst) error {
-			ir.offToIdx[pos] = len(ir.insts)
-			ir.insts = append(ir.insts, in)
-			ir.offs = append(ir.offs, pos)
-			if in.Op == isa.OpBSRX || in.Op == isa.OpJSRX {
-				pos += 2
-			} else {
-				pos++
-			}
-			return nil
-		})
-		if err != nil {
-			return fmt.Errorf("core: interpret mode: decoding region %d: %w", id, err)
+// decodeInterpRegion decodes one region through the stream decoder (the
+// reference bit-at-a-time decoder when the fast path is off) and builds its
+// offset index.
+func (rt *Runtime) decodeInterpRegion(region int) (*interpRegion, error) {
+	ir := &interpRegion{}
+	pos := int32(1)
+	_, err := rt.comp.Decompress(rt.meta.Blob, int(rt.meta.OffsetTable[region]), func(in isa.Inst) error {
+		ir.insts = append(ir.insts, in)
+		ir.offs = append(ir.offs, pos)
+		if in.Op == isa.OpBSRX || in.Op == isa.OpJSRX {
+			pos += 2
+		} else {
+			pos++
 		}
-		rt.iregions[id] = ir
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: interpret mode: decoding region %d: %w", region, err)
 	}
-	return nil
+	ir.offIdx = make([]int32, pos)
+	for i := range ir.offIdx {
+		ir.offIdx[i] = -1
+	}
+	for i, off := range ir.offs {
+		ir.offIdx[off] = int32(i)
+	}
+	return ir, nil
+}
+
+// enterInterpRegion returns region's decoded form: from the memo when the
+// fast path is on (filling it on first entry), or decoded afresh on every
+// entry when it is off — the interpret-mode analogue of the regionImage
+// replay in decompressAndJump.
+func (rt *Runtime) enterInterpRegion(region int) (*interpRegion, error) {
+	if region >= len(rt.imemo) {
+		return nil, fmt.Errorf("core: tag names region %d of %d", region, len(rt.imemo))
+	}
+	if ir := rt.imemo[region]; ir != nil && !rt.noFastPath {
+		return ir, nil
+	}
+	ir, err := rt.decodeInterpRegion(region)
+	if err != nil {
+		return nil, err
+	}
+	if !rt.noFastPath {
+		rt.imemo[region] = ir
+	}
+	return ir, nil
 }
 
 // inVirtualBuffer reports whether addr lies in the (reserved, unbacked)
@@ -84,14 +124,15 @@ func (rt *Runtime) inVirtualBuffer(addr uint32) bool { return rt.inBuffer(addr) 
 
 // startInterp positions the interpreter at a region offset and parks the PC.
 func (rt *Runtime) startInterp(m *vm.Machine, region, offset int) error {
-	if region >= len(rt.iregions) {
-		return fmt.Errorf("core: tag names region %d of %d", region, len(rt.iregions))
+	ir, err := rt.enterInterpRegion(region)
+	if err != nil {
+		return err
 	}
-	ir := rt.iregions[region]
-	idx, ok := ir.offToIdx[offset]
+	idx, ok := ir.idxOf(offset)
 	if !ok {
 		return fmt.Errorf("core: interpret entry at region %d offset %d, which is not an instruction boundary", region, offset)
 	}
+	rt.icur = ir
 	rt.interp = interpState{active: true, region: region, idx: idx}
 	rt.Stats.InterpEntries++
 	m.PC = rt.interpPC()
@@ -104,60 +145,36 @@ func (rt *Runtime) interpStep(m *vm.Machine) error {
 	if !st.active {
 		return fmt.Errorf("core: interpreter stepped while inactive (pc=%#x)", m.PC)
 	}
-	ir := rt.iregions[st.region]
-	if st.idx >= len(ir.insts) {
+	ir := rt.icur
+	if ir == nil || st.idx >= len(ir.insts) {
 		return fmt.Errorf("core: interpreter ran off the end of region %d", st.region)
 	}
 	in := ir.insts[st.idx]
-	vpc := rt.meta.RtBufAddr + uint32(ir.offs[st.idx]*isa.WordSize)
+	vpc := rt.meta.RtBufAddr + uint32(int(ir.offs[st.idx])*isa.WordSize)
 	m.Cycles += m.Cost.InterpPerInst
 	rt.Stats.InterpInsts++
 
-	// leaveTo transfers control to a real (non-virtual) address.
-	leaveTo := func(target uint32) {
-		st.active = false
-		m.PC = target
-	}
-	// continueAt keeps interpreting at a virtual target address.
-	continueAt := func(target uint32) error {
-		off := int(target-rt.meta.RtBufAddr) / isa.WordSize
-		idx, ok := ir.offToIdx[off]
-		if !ok {
-			return fmt.Errorf("core: virtual branch to non-boundary offset %d in region %d", off, st.region)
-		}
-		st.idx = idx
-		m.PC = rt.interpPC()
-		return nil
-	}
-	dispatch := func(target uint32) error {
-		if rt.inVirtualBuffer(target) {
-			return continueAt(target)
-		}
-		leaveTo(target)
-		return nil
-	}
-
+	var target uint32
 	switch in.Op {
 	case isa.OpBSRX:
 		// Expanded direct call: link through a restore stub whose tag
 		// resumes interpretation right after the (virtual) two-word pair.
-		resume := uint32(ir.offs[st.idx] + 2)
+		resume := uint32(int(ir.offs[st.idx]) + 2)
 		slotAddr, err := rt.allocStub(m, uint32(st.region)<<16|resume, in.RA)
 		if err != nil {
 			return err
 		}
 		m.Reg[in.RA] = int32(slotAddr)
 		// The transfer branch is relative to the word after the pair.
-		target := vpc + 2*isa.WordSize + uint32(in.Disp)*isa.WordSize
-		return dispatch(target)
+		target = vpc + 2*isa.WordSize + uint32(in.Disp)*isa.WordSize
 	case isa.OpJSRX:
-		resume := uint32(ir.offs[st.idx] + 2)
+		resume := uint32(int(ir.offs[st.idx]) + 2)
 		slotAddr, err := rt.allocStub(m, uint32(st.region)<<16|resume, in.RA)
 		if err != nil {
 			return err
 		}
 		m.Reg[in.RA] = int32(slotAddr)
-		return dispatch(uint32(m.Reg[in.RB]) &^ 3)
+		target = uint32(m.Reg[in.RB]) &^ 3
 	default:
 		next, err := m.ExecInst(in, vpc)
 		if err != nil {
@@ -166,8 +183,24 @@ func (rt *Runtime) interpStep(m *vm.Machine) error {
 		if m.Halted {
 			return nil
 		}
-		return dispatch(next)
+		target = next
 	}
+
+	if rt.inVirtualBuffer(target) {
+		// Keep interpreting at the virtual target address.
+		off := int(target-rt.meta.RtBufAddr) / isa.WordSize
+		idx, ok := ir.idxOf(off)
+		if !ok {
+			return fmt.Errorf("core: virtual branch to non-boundary offset %d in region %d", off, st.region)
+		}
+		st.idx = idx
+		m.PC = rt.interpPC()
+		return nil
+	}
+	// Transfer control to a real (non-virtual) address.
+	st.active = false
+	m.PC = target
+	return nil
 }
 
 // interpEnter handles hook entries in interpret mode; the hook range covers
@@ -228,18 +261,17 @@ func (rt *Runtime) interpEnter(m *vm.Machine) error {
 // interpActiveRegionContains reports whether the interpreter has a current
 // region that owns the given virtual address.
 func (rt *Runtime) interpActiveRegionContains(pc uint32) bool {
-	if rt.interp.region < 0 || rt.interp.region >= len(rt.iregions) {
+	if rt.icur == nil {
 		return false
 	}
 	off := int(pc-rt.meta.RtBufAddr) / isa.WordSize
-	_, ok := rt.iregions[rt.interp.region].offToIdx[off]
+	_, ok := rt.icur.idxOf(off)
 	return ok
 }
 
 // startInterpAtOffset resumes the current region at a virtual offset.
 func (rt *Runtime) startInterpAtOffset(m *vm.Machine, off int) error {
-	ir := rt.iregions[rt.interp.region]
-	idx, ok := ir.offToIdx[off]
+	idx, ok := rt.icur.idxOf(off)
 	if !ok {
 		return fmt.Errorf("core: virtual resume at non-boundary offset %d", off)
 	}

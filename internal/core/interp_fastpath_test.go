@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/objfile"
+	"repro/internal/testprog"
+	"repro/internal/vm"
+)
+
+// TestInterpFastPathEquivalence runs interpret-mode squashes with the region
+// memo enabled and disabled and checks every simulated observable matches —
+// the same invariant TestSquashFastPathEquivalence enforces for the buffer
+// runtime.
+func TestInterpFastPathEquivalence(t *testing.T) {
+	obj, _, counts := prepare(t, testProgram, profInput)
+	for _, theta := range []float64{0, 1.0} {
+		for _, k := range []int{96, 512} {
+			out, err := Squash(obj, counts, interpConf(theta, k))
+			if err != nil {
+				t.Fatalf("θ=%v K=%d: Squash: %v", theta, k, err)
+			}
+			fastM, fastRT := runSquashedMode(t, out, timingInput, true)
+			slowM, slowRT := runSquashedMode(t, out, timingInput, false)
+			assertModesIdentical(t, fmt.Sprintf("interp θ=%v K=%d", theta, k), fastM, slowM, fastRT, slowRT)
+			if theta == 1.0 && fastRT.Stats.InterpEntries < 2 {
+				t.Fatalf("θ=1 K=%d: only %d interp entries; memo replay untested", k, fastRT.Stats.InterpEntries)
+			}
+		}
+	}
+}
+
+// TestInterpFastPathEquivalenceRandom repeats the interp memo check over
+// randomized programs so region contents and entry patterns vary.
+func TestInterpFastPathEquivalenceRandom(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		src := testprog.Random(seed)
+		obj, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("seed %d: assemble: %v", seed, err)
+		}
+		im, err := objfile.Link("main", obj)
+		if err != nil {
+			t.Fatalf("seed %d: link: %v", seed, err)
+		}
+		input := []byte(fmt.Sprintf("interp fastpath equivalence %d", seed))
+		prof := vm.New(im, input)
+		prof.EnableProfile()
+		if err := prof.Run(); err != nil {
+			t.Fatalf("seed %d: profiling run: %v", seed, err)
+		}
+		out, err := Squash(obj, prof.Profile, interpConf(1, 96))
+		if err != nil {
+			t.Fatalf("seed %d: Squash: %v", seed, err)
+		}
+		fastM, fastRT := runSquashedMode(t, out, input, true)
+		slowM, slowRT := runSquashedMode(t, out, input, false)
+		assertModesIdentical(t, fmt.Sprintf("interp seed %d", seed), fastM, slowM, fastRT, slowRT)
+	}
+}
+
+// TestInterpMemoMatchesFreshDecode checks that the memoized decoded region is
+// exactly what a reference re-decode produces, and that a second entry reuses
+// the memo without re-decoding.
+func TestInterpMemoMatchesFreshDecode(t *testing.T) {
+	obj, _, counts := prepare(t, testProgram, profInput)
+	out, err := Squash(obj, counts, interpConf(1, 96))
+	if err != nil {
+		t.Fatalf("Squash: %v", err)
+	}
+	rt, err := NewRuntime(out.Meta)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	m := vm.New(out.Image, nil)
+	rt.Install(m)
+
+	slowRT, err := NewRuntime(out.Meta)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	slowRT.SetFastPath(false)
+
+	for region := range out.Meta.OffsetTable {
+		entry := 1 // regions always start at buffer word offset 1
+		if err := rt.startInterp(m, region, entry); err != nil {
+			t.Fatalf("region %d: first entry: %v", region, err)
+		}
+		memo := rt.imemo[region]
+		if memo == nil {
+			t.Fatalf("region %d: first entry did not memoize", region)
+		}
+		if err := rt.startInterp(m, region, entry); err != nil {
+			t.Fatalf("region %d: second entry: %v", region, err)
+		}
+		if rt.imemo[region] != memo {
+			t.Fatalf("region %d: second entry replaced the memo", region)
+		}
+		ref, err := slowRT.decodeInterpRegion(region)
+		if err != nil {
+			t.Fatalf("region %d: reference decode: %v", region, err)
+		}
+		if len(ref.insts) != len(memo.insts) {
+			t.Fatalf("region %d: memo has %d insts, reference %d", region, len(memo.insts), len(ref.insts))
+		}
+		for i := range ref.insts {
+			if isa.Encode(ref.insts[i]) != isa.Encode(memo.insts[i]) ||
+				ref.offs[i] != memo.offs[i] {
+				t.Fatalf("region %d inst %d: memo %v@%d, reference %v@%d",
+					region, i, memo.insts[i], memo.offs[i], ref.insts[i], ref.offs[i])
+			}
+		}
+	}
+}
+
+// TestInterpMemoUnaffectedByBufferStores: interpret mode never reads the
+// (reserved, unbacked) virtual buffer memory, so stores landing in that
+// address range must not perturb execution in either mode. This is the
+// interp analogue of the buffer runtime's self-modifying-code coverage: the
+// decoded instructions come from the immutable blob, not from memory the
+// program can write.
+func TestInterpMemoUnaffectedByBufferStores(t *testing.T) {
+	obj, _, counts := prepare(t, testProgram, profInput)
+	out, err := Squash(obj, counts, interpConf(1, 96))
+	if err != nil {
+		t.Fatalf("Squash: %v", err)
+	}
+	run := func(fast bool) (*vm.Machine, *Runtime) {
+		rt, err := NewRuntime(out.Meta)
+		if err != nil {
+			t.Fatalf("NewRuntime: %v", err)
+		}
+		rt.SetFastPath(fast)
+		m := vm.New(out.Image, timingInput)
+		rt.Install(m)
+		// Prime one region (memoizing it in fast mode), then scribble over
+		// the whole virtual buffer range before the real run.
+		if err := rt.startInterp(m, 0, 1); err != nil {
+			t.Fatalf("prime entry: %v", err)
+		}
+		for w := 0; w < out.Meta.K/isa.WordSize; w++ {
+			if err := m.WriteWord(out.Meta.RtBufAddr+uint32(w*isa.WordSize), 0xDEADBEEC); err != nil {
+				t.Fatalf("scribble word %d: %v", w, err)
+			}
+		}
+		// Reset the interpreter and PC as if the prime never happened.
+		rt.interp = interpState{}
+		rt.icur = nil
+		rt.Stats = RuntimeStats{}
+		m.PC = out.Image.Entry
+		m.Cycles = 0
+		if err := m.Run(); err != nil {
+			t.Fatalf("run (fast=%v): %v", fast, err)
+		}
+		return m, rt
+	}
+	fastM, fastRT := run(true)
+	slowM, slowRT := run(false)
+	assertModesIdentical(t, "buffer stores", fastM, slowM, fastRT, slowRT)
+}
+
+// interpTrapProgram reaches a faulting load only when the input starts with
+// 'x'; profiled without one, the faulting function is cold and compressed.
+const interpTrapProgram = `
+        .text
+        .func main
+        lda  sp, -16(sp)
+        stw  ra, 0(sp)
+        sys  getc
+        sub  v0, 120, t0
+        beq  t0, boom
+        li   a0, 107
+        sys  putc
+        clr  a0
+        sys  halt
+boom:   bsr  ra, coldtrap
+        clr  a0
+        sys  halt
+
+        .func coldtrap
+        lda  sp, -16(sp)
+        stw  ra, 0(sp)
+        li   t0, 1
+        add  t0, 2, t0
+        sll  t0, 3, t1
+        sub  t1, 5, t2
+        and  t2, 63, t3
+        or   t3, 9, t4
+        xor  t4, 3, t5
+        add  t5, t0, t6
+        sub  t6, t1, t7
+        add  t7, 11, t8
+        and  t8, 127, t9
+        or   t9, t0, t10
+        ldw  t0, -16(zero)
+        ldw  ra, 0(sp)
+        lda  sp, 16(sp)
+        ret
+`
+
+// TestInterpTrapReplay: a trap raised by an interpreted instruction must
+// reproduce identically when the region replays from the memo (second run)
+// and when the memo is disabled entirely.
+func TestInterpTrapReplay(t *testing.T) {
+	obj, _, counts := prepare(t, interpTrapProgram, []byte("ok"))
+	out, err := Squash(obj, counts, interpConf(0, 512))
+	if err != nil {
+		t.Fatalf("Squash: %v", err)
+	}
+	type result struct {
+		err    string
+		insts  uint64
+		cycles uint64
+		stats  RuntimeStats
+	}
+	runOnce := func(rt *Runtime) result {
+		m := vm.New(out.Image, []byte("x"))
+		rt.Install(m)
+		err := m.Run()
+		if err == nil {
+			t.Fatal("expected a trap, run succeeded")
+		}
+		return result{err.Error(), m.Instructions, m.Cycles, rt.Stats}
+	}
+	freshRT := func(fast bool) *Runtime {
+		rt, err := NewRuntime(out.Meta)
+		if err != nil {
+			t.Fatalf("NewRuntime: %v", err)
+		}
+		rt.SetFastPath(fast)
+		return rt
+	}
+
+	coldDecoder := freshRT(true)
+	first := runOnce(coldDecoder) // fresh decode, memo filled
+	memoized := false
+	for _, ir := range coldDecoder.imemo {
+		if ir != nil {
+			memoized = true
+		}
+	}
+	if !memoized {
+		t.Fatal("trapping run memoized no region")
+	}
+
+	// Replay the trap through a warm memo on otherwise fresh runtime state.
+	warm := freshRT(true)
+	warm.imemo = coldDecoder.imemo
+	second := runOnce(warm)
+	if first != second {
+		t.Fatalf("memo replay of trap diverged:\n  fresh  %+v\n  replay %+v", first, second)
+	}
+
+	ref := runOnce(freshRT(false))
+	if first != ref {
+		t.Fatalf("fast trap diverged from reference:\n  fast %+v\n  ref  %+v", first, ref)
+	}
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// lzConf builds a buffer-mode config using the LZ region coder.
+func lzConf(theta float64, k int) Config {
+	conf := DefaultConfig()
+	conf.Theta = theta
+	conf.Regions.K = k
+	conf.Coder = CoderLZ
+	return conf
+}
+
+// TestSquashLZCoderEquivalence squashes with the LZ dictionary coder and
+// checks (a) the squashed program still behaves like the uncompressed
+// baseline and (b) the fast decode path (table-driven Huffman) is
+// byte-identical to the reference bit-at-a-time path — the same invariant
+// the stream coder's equivalence tests enforce.
+func TestSquashLZCoderEquivalence(t *testing.T) {
+	obj, im, counts := prepare(t, testProgram, profInput)
+	base := runBaseline(t, im, timingInput)
+	for _, theta := range []float64{0, 1.0} {
+		for _, k := range []int{96, 512} {
+			out, err := Squash(obj, counts, lzConf(theta, k))
+			if err != nil {
+				t.Fatalf("θ=%v K=%d: Squash: %v", theta, k, err)
+			}
+			if out.Meta.Coder != CoderLZ {
+				t.Fatalf("θ=%v K=%d: metadata records coder %d", theta, k, out.Meta.Coder)
+			}
+			fastM, fastRT := runSquashedMode(t, out, timingInput, true)
+			slowM, slowRT := runSquashedMode(t, out, timingInput, false)
+			assertModesIdentical(t, fmt.Sprintf("lz θ=%v K=%d", theta, k), fastM, slowM, fastRT, slowRT)
+			if string(fastM.Output) != string(base.Output) || fastM.Status != base.Status {
+				t.Fatalf("θ=%v K=%d: lz-squashed output %q status %d, baseline %q status %d",
+					theta, k, fastM.Output, fastM.Status, base.Output, base.Status)
+			}
+			if theta == 1.0 && fastRT.Stats.Decompressions == 0 {
+				t.Fatalf("θ=1 K=%d: no decompressions; lz decode untested", k)
+			}
+		}
+	}
+}
+
+// TestSquashLZInterpEquivalence combines both §8 alternatives — interpret in
+// place and the LZ coder — and checks the fast/slow invariant still holds:
+// the interp region memo replays instructions the LZ reference decoder
+// produces.
+func TestSquashLZInterpEquivalence(t *testing.T) {
+	obj, _, counts := prepare(t, testProgram, profInput)
+	for _, k := range []int{96, 512} {
+		conf := interpConf(1.0, k)
+		conf.Coder = CoderLZ
+		out, err := Squash(obj, counts, conf)
+		if err != nil {
+			t.Fatalf("K=%d: Squash: %v", k, err)
+		}
+		fastM, fastRT := runSquashedMode(t, out, timingInput, true)
+		slowM, slowRT := runSquashedMode(t, out, timingInput, false)
+		assertModesIdentical(t, fmt.Sprintf("lz interp K=%d", k), fastM, slowM, fastRT, slowRT)
+		if fastRT.Stats.InterpEntries == 0 {
+			t.Fatalf("K=%d: no interp entries; lz interp decode untested", k)
+		}
+	}
+}
+
+// TestMetaCoderRoundTrip checks the coder survives serialization and that
+// coder-0 images keep the seed's byte layout (the coder shares the old
+// interpret flag's word: bit 0 interpret, bits 8+ coder).
+func TestMetaCoderRoundTrip(t *testing.T) {
+	for _, interp := range []bool{false, true} {
+		for _, coder := range []int{CoderStream, CoderLZ} {
+			m := &Meta{DecompAddr: 0x1000, RtBufAddr: 0x2000, K: 512,
+				StubCapacity: 4, Interpret: interp, Coder: coder}
+			blob, err := m.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := UnmarshalMeta(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.Interpret != interp || back.Coder != coder {
+				t.Fatalf("round trip interpret=%v coder=%d: got %+v", interp, coder, back)
+			}
+			// The flags word is bytes 24..27 (after magic and five u32s).
+			want := uint32(coder) << 8
+			if interp {
+				want |= 1
+			}
+			got := uint32(blob[24]) | uint32(blob[25])<<8 | uint32(blob[26])<<16 | uint32(blob[27])<<24
+			if got != want {
+				t.Fatalf("flags word %#x, want %#x", got, want)
+			}
+		}
+	}
+}
+
+// TestSquashUnknownCoderRejected: both the encoder and the runtime must
+// refuse a coder id they do not implement.
+func TestSquashUnknownCoderRejected(t *testing.T) {
+	obj, _, counts := prepare(t, testProgram, profInput)
+	conf := DefaultConfig()
+	conf.Coder = 99
+	if _, err := Squash(obj, counts, conf); err == nil {
+		t.Fatal("Squash accepted coder 99")
+	}
+	m := &Meta{Coder: 99}
+	if _, err := m.Compressor(); err == nil {
+		t.Fatal("Compressor accepted coder 99")
+	}
+}

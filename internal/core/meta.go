@@ -11,6 +11,8 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/isa"
+	"repro/internal/lzcomp"
 	"repro/internal/streamcomp"
 )
 
@@ -33,6 +35,25 @@ const NumEntryRegs = 32
 // rounded up to a word-aligned slot).
 const StubSlotWords = 4
 
+// Region coder identifiers, stored in the metadata so the runtime knows how
+// to decode the blob. The zero value is the paper's split-stream coder, so
+// images written before the field existed decode unchanged.
+const (
+	// CoderStream is the paper's split-stream canonical-Huffman coder (§3).
+	CoderStream = 0
+	// CoderLZ is the LZ-style dictionary coder (§8/[19] alternative).
+	CoderLZ = 1
+)
+
+// RegionCoder is what the runtime needs from a region decompressor: decode
+// one region's instructions from the blob, and switch between the
+// table-driven and reference bit-at-a-time Huffman decoders. Both coders
+// satisfy it; both guarantee the two decoders consume identical bits.
+type RegionCoder interface {
+	Decompress(blob []byte, bitOff int, emit func(isa.Inst) error) (int, error)
+	SetSlowDecode(v bool)
+}
+
 // Meta is the squash runtime description stored alongside the image. In
 // the paper's artifact this state is the decompressor's private data inside
 // the binary; its size is charged to the footprint via the offset table and
@@ -46,6 +67,10 @@ type Meta struct {
 	// Interpret selects the §8 alternative runtime: compressed regions are
 	// interpreted in place instead of decompressed into the buffer.
 	Interpret bool
+	// Coder identifies the region coder that produced Blob/Tables
+	// (CoderStream or CoderLZ). It shares the Interpret flags word in the
+	// serialized form: bit 0 is the interpret flag, bits 8+ the coder.
+	Coder int
 
 	// OffsetTable maps region index to the bit offset of its compressed
 	// code within Blob (the paper's function offset table).
@@ -57,13 +82,25 @@ type Meta struct {
 	Tables []byte
 }
 
-// Compressor deserializes the stream coder tables.
-func (m *Meta) Compressor() (*streamcomp.Compressor, error) {
-	var c streamcomp.Compressor
-	if err := c.UnmarshalBinary(m.Tables); err != nil {
-		return nil, fmt.Errorf("core: bad compressor tables: %w", err)
+// Compressor deserializes the coder tables for whichever region coder the
+// image was squashed with.
+func (m *Meta) Compressor() (RegionCoder, error) {
+	switch m.Coder {
+	case CoderStream:
+		var c streamcomp.Compressor
+		if err := c.UnmarshalBinary(m.Tables); err != nil {
+			return nil, fmt.Errorf("core: bad compressor tables: %w", err)
+		}
+		return &c, nil
+	case CoderLZ:
+		var c lzcomp.Compressor
+		if err := c.UnmarshalBinary(m.Tables); err != nil {
+			return nil, fmt.Errorf("core: bad compressor tables: %w", err)
+		}
+		return &c, nil
+	default:
+		return nil, fmt.Errorf("core: unknown region coder %d", m.Coder)
 	}
-	return &c, nil
 }
 
 // MarshalBinary encodes the metadata.
@@ -77,11 +114,11 @@ func (m *Meta) MarshalBinary() ([]byte, error) {
 	u32(uint32(m.StubCapacity))
 	u32(m.RtBufAddr)
 	u32(uint32(m.K))
+	flags := uint32(m.Coder) << 8
 	if m.Interpret {
-		u32(1)
-	} else {
-		u32(0)
+		flags |= 1
 	}
+	u32(flags)
 	u32(uint32(len(m.OffsetTable)))
 	for _, v := range m.OffsetTable {
 		u32(v)
@@ -129,11 +166,12 @@ func UnmarshalMeta(data []byte) (*Meta, error) {
 		return nil, err
 	}
 	m.K = int(k32)
-	interp, err := u32()
+	flags, err := u32()
 	if err != nil {
 		return nil, err
 	}
-	m.Interpret = interp == 1
+	m.Interpret = flags&1 == 1
+	m.Coder = int(flags >> 8)
 	n, err := u32()
 	if err != nil {
 		return nil, err

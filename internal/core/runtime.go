@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
-	"repro/internal/streamcomp"
 	"repro/internal/vm"
 )
 
@@ -27,7 +26,7 @@ import (
 // materialized, the instruction-cache flush, and stub management.
 type Runtime struct {
 	meta *Meta
-	comp *streamcomp.Compressor
+	comp RegionCoder
 
 	curRegion int // region currently in the buffer; -1 when none
 
@@ -42,9 +41,13 @@ type Runtime struct {
 	slots []stubSlot
 	byTag map[uint32]int // live stub tag -> slot index
 
-	// Interpret-in-place state (§8 alternative; see interp.go).
-	iregions []*interpRegion
-	interp   interpState
+	// Interpret-in-place state (§8 alternative; see interp.go). imemo
+	// caches each region's decoded instruction list the first time it is
+	// entered (the interpreter's analogue of memo); icur is the decoded
+	// form of the region currently being interpreted.
+	imemo  []*interpRegion
+	icur   *interpRegion
+	interp interpState
 
 	Stats RuntimeStats
 
@@ -96,9 +99,9 @@ func NewRuntime(meta *Meta) (*Runtime, error) {
 		byTag:     map[uint32]int{},
 	}
 	if meta.Interpret {
-		if err := rt.loadInterpRegions(); err != nil {
-			return nil, err
-		}
+		// Regions decode lazily on first entry (see enterInterpRegion); the
+		// memo starts empty just like the buffer runtime's.
+		rt.imemo = make([]*interpRegion, len(meta.OffsetTable))
 	}
 	return rt, nil
 }

@@ -28,7 +28,13 @@ type Config struct {
 	// conditional branches so their blocks become compressible.
 	Unswitch bool
 	// MTF enables the move-to-front variant of the stream coder (§3).
+	// Ignored unless Coder is CoderStream.
 	MTF bool
+	// Coder selects the region coder: CoderStream (the default, the paper's
+	// split-stream scheme) or CoderLZ (the dictionary coder, §8/[19]). The
+	// choice is recorded in the image metadata so the runtime decodes with
+	// the matching tables.
+	Coder int
 	// Interpret selects the §8 alternative: compressed regions are
 	// *interpreted in place* instead of decompressed into the runtime
 	// buffer (Fraser/Proebsting-style executable compressed code). It

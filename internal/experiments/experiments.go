@@ -16,8 +16,6 @@ import (
 	"strings"
 	"sync"
 
-	"repro/internal/asm"
-	"repro/internal/cfg"
 	"repro/internal/core"
 	"repro/internal/mediabench"
 	"repro/internal/objfile"
@@ -57,6 +55,9 @@ type Suite struct {
 	// assembled in fixed cell order, so reports are identical at any
 	// worker count.
 	Workers int
+	// PrepCacheHits counts the benchmarks whose preparation was served from
+	// the content-keyed cache (memory or disk) instead of recomputed.
+	PrepCacheHits int
 }
 
 // Load prepares the full suite at the given input scale (1.0 = full; the
@@ -69,18 +70,37 @@ func Load(scale float64) (*Suite, error) { return LoadWorkers(scale, 0) }
 // benchmark's preparation is self-contained, so the suite is identical at
 // any worker count.
 func LoadWorkers(scale float64, workers int) (*Suite, error) {
+	return LoadCached(scale, workers, "")
+}
+
+// LoadCached is LoadWorkers with an on-disk preparation cache: prepared
+// artifacts (the squeezed object and the profile) are stored in cacheDir
+// under a content key of the generated program and its profiling input, so
+// repeated loads of unchanged benchmarks skip generation, assembly,
+// squeezing, and the profiling run. An empty cacheDir uses only the
+// always-on in-memory layer. Cache hits are identical to recomputation by
+// construction: both paths decode the same serialized payload.
+func LoadCached(scale float64, workers int, cacheDir string) (*Suite, error) {
 	specs := mediabench.Specs()
+	hits := make([]bool, len(specs))
 	benches, err := parallel.Map(len(specs), workers, func(i int) (*Bench, error) {
-		b, err := prepare(specs[i], scale)
+		b, hit, err := prepareCached(specs[i], scale, cacheDir)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", specs[i].Name, err)
 		}
+		hits[i] = hit
 		return b, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Suite{Benches: benches, Scale: scale, Workers: workers}, nil
+	s := &Suite{Benches: benches, Scale: scale, Workers: workers}
+	for _, h := range hits {
+		if h {
+			s.PrepCacheHits++
+		}
+	}
+	return s, nil
 }
 
 // conf returns the paper's default configuration wired to the suite's
@@ -99,46 +119,6 @@ func (s *Suite) warmBaselines() error {
 		_, _, err := s.Benches[i].BaselineTiming()
 		return err
 	})
-}
-
-func prepare(spec mediabench.Spec, scale float64) (*Bench, error) {
-	if scale != 1.0 {
-		spec.ProfBytes = int(float64(spec.ProfBytes) * scale)
-		spec.TimeBytes = int(float64(spec.TimeBytes) * scale)
-	}
-	obj, err := asm.Assemble(spec.Generate())
-	if err != nil {
-		return nil, err
-	}
-	p, err := cfg.Build(obj, "main")
-	if err != nil {
-		return nil, err
-	}
-	sqStats, err := squeeze.Run(p)
-	if err != nil {
-		return nil, err
-	}
-	sqObj, err := cfg.Lower(p)
-	if err != nil {
-		return nil, err
-	}
-	im, err := objfile.Link("main", sqObj)
-	if err != nil {
-		return nil, err
-	}
-	m := vm.New(im, spec.ProfilingInput())
-	m.EnableProfile()
-	if err := m.Run(); err != nil {
-		return nil, fmt.Errorf("profiling run: %w", err)
-	}
-	return &Bench{
-		Spec:         spec,
-		InputInsts:   len(obj.Text),
-		SqueezeStats: sqStats,
-		SqObj:        sqObj,
-		SqImage:      im,
-		Profile:      m.Profile,
-	}, nil
 }
 
 // Squash runs the rewriter on the bench at the given configuration.

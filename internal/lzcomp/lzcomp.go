@@ -21,11 +21,13 @@
 package lzcomp
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
 	"repro/internal/huffman"
 	"repro/internal/isa"
+	"repro/internal/parallel"
 )
 
 // Token kinds in the kind stream.
@@ -54,6 +56,58 @@ type Compressor struct {
 	dictCode *huffman.Code
 	distCode *huffman.Code
 	lenCode  *huffman.Code
+
+	// dictInsts caches the decoded form of every dictionary word, so the
+	// fast path emits dictionary hits (and match copies of them) without
+	// re-running isa.Decode — half the decode profile otherwise. Built
+	// lazily on first fast Decompress, or eagerly by Prime.
+	dictInsts []isa.Inst
+
+	// slowDecode routes every codeword decode through the reference
+	// bit-at-a-time decoder (huffman.Code.DecodeTree) instead of the
+	// table-driven one, the same switch streamcomp exposes: both consume
+	// identical bits, so the runtime's fast-path-disabled mode can verify
+	// the fast decoder end to end. Raw 32-bit words are not codewords and
+	// read the same either way.
+	slowDecode bool
+}
+
+// SetSlowDecode selects the reference Huffman decoder for all subsequent
+// Decompress calls (true) or the table-driven one (false, the default).
+func (c *Compressor) SetSlowDecode(v bool) { c.slowDecode = v }
+
+// codes lists the four token codes in serialization order.
+func (c *Compressor) codes() [4]*huffman.Code {
+	return [4]*huffman.Code{c.kindCode, c.dictCode, c.distCode, c.lenCode}
+}
+
+// Prime eagerly builds the encoder maps and decode tables of all four codes;
+// required before sharing the compressor across goroutines, since both are
+// otherwise built lazily on first use.
+func (c *Compressor) Prime() {
+	for _, code := range c.codes() {
+		code.Prime()
+	}
+	if c.dictInsts == nil {
+		c.primeDictInsts()
+	}
+}
+
+// primeDictInsts decodes every dictionary word once.
+func (c *Compressor) primeDictInsts() {
+	insts := make([]isa.Inst, len(c.dict))
+	for i, w := range c.dict {
+		insts[i] = isa.Decode(w)
+	}
+	c.dictInsts = insts
+}
+
+// decodeSym reads one codeword of code, honoring the slow-decode switch.
+func (c *Compressor) decodeSym(code *huffman.Code, r *huffman.BitReader) (uint32, error) {
+	if c.slowDecode {
+		return code.DecodeTree(r)
+	}
+	return code.Decode(r)
 }
 
 // token is the unit the two passes agree on.
@@ -191,6 +245,33 @@ func (c *Compressor) Compress(w *huffman.BitWriter, seq []isa.Inst) error {
 	return nil
 }
 
+// CompressAll compresses every sequence and concatenates the per-sequence
+// bit streams in input order, exactly as sequential Compress calls against
+// one shared writer would. offsets[i] is the starting bit position of
+// sequence i in the returned blob. Sequences are encoded concurrently into
+// private writers (each region's bits are independent of its position in
+// the blob), so the result is byte-identical at any worker count.
+func (c *Compressor) CompressAll(seqs [][]isa.Inst, workers int) (blob []byte, offsets []uint32, err error) {
+	c.Prime() // lazy encoder init would race across goroutines
+	parts, err := parallel.Map(len(seqs), workers, func(i int) (*huffman.BitWriter, error) {
+		var w huffman.BitWriter
+		if err := c.Compress(&w, seqs[i]); err != nil {
+			return nil, fmt.Errorf("region %d: %w", i, err)
+		}
+		return &w, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var out huffman.BitWriter
+	offsets = make([]uint32, len(seqs))
+	for i, part := range parts {
+		offsets[i] = uint32(out.Len())
+		out.Append(part)
+	}
+	return out.Bytes(), offsets, nil
+}
+
 // CompressedBits reports the coded size of seq, including the terminator.
 func (c *Compressor) CompressedBits(seq []isa.Inst) (int, error) {
 	var w huffman.BitWriter
@@ -202,16 +283,26 @@ func (c *Compressor) CompressedBits(seq []isa.Inst) (int, error) {
 
 // Decompress decodes one region starting at bit offset bitOff, invoking
 // emit per instruction, and returns the bits consumed.
+//
+// Besides the Huffman decoder, the two modes differ in how dictionary hits
+// materialize instructions: the fast path emits the struct cached by
+// primeDictInsts, the reference path re-runs isa.Decode per emit, exactly
+// as a from-scratch decoder would. isa.Decode is a pure function, so both
+// modes emit identical instructions.
 func (c *Compressor) Decompress(blob []byte, bitOff int, emit func(isa.Inst) error) (int, error) {
 	r := huffman.NewBitReader(blob)
 	r.Seek(bitOff)
+	fast := !c.slowDecode
+	if fast && c.dictInsts == nil {
+		c.primeDictInsts()
+	}
 	var words []uint32
 	push := func(w uint32) error {
 		words = append(words, w)
 		return emit(isa.Decode(w))
 	}
 	for {
-		kind, err := c.kindCode.Decode(r)
+		kind, err := c.decodeSym(c.kindCode, r)
 		if err != nil {
 			return r.BitsRead() - bitOff, err
 		}
@@ -219,14 +310,20 @@ func (c *Compressor) Decompress(blob []byte, bitOff int, emit func(isa.Inst) err
 		case kindEnd:
 			return r.BitsRead() - bitOff, nil
 		case kindDict:
-			idx, err := c.dictCode.Decode(r)
+			idx, err := c.decodeSym(c.dictCode, r)
 			if err != nil {
 				return r.BitsRead() - bitOff, err
 			}
 			if int(idx) >= len(c.dict) {
 				return r.BitsRead() - bitOff, fmt.Errorf("lzcomp: dictionary index %d out of range", idx)
 			}
-			if err := push(c.dict[idx]); err != nil {
+			if fast {
+				words = append(words, c.dict[idx])
+				err = emit(c.dictInsts[idx])
+			} else {
+				err = push(c.dict[idx])
+			}
+			if err != nil {
 				return r.BitsRead() - bitOff, err
 			}
 		case kindRaw:
@@ -234,11 +331,11 @@ func (c *Compressor) Decompress(blob []byte, bitOff int, emit func(isa.Inst) err
 				return r.BitsRead() - bitOff, err
 			}
 		case kindMatch:
-			dist, err := c.distCode.Decode(r)
+			dist, err := c.decodeSym(c.distCode, r)
 			if err != nil {
 				return r.BitsRead() - bitOff, err
 			}
-			length, err := c.lenCode.Decode(r)
+			length, err := c.decodeSym(c.lenCode, r)
 			if err != nil {
 				return r.BitsRead() - bitOff, err
 			}
@@ -260,9 +357,84 @@ func (c *Compressor) Decompress(blob []byte, bitOff int, emit func(isa.Inst) err
 // TableBytes reports the serialized size of the dictionary and codes — the
 // data the decompressor must carry.
 func (c *Compressor) TableBytes() int {
-	n := 4 * len(c.dict) // dictionary words
-	for _, code := range []*huffman.Code{c.kindCode, c.dictCode, c.distCode, c.lenCode} {
-		n += code.TableSize()
+	b, err := c.MarshalBinary()
+	if err != nil {
+		return 0
 	}
-	return n
+	return len(b)
+}
+
+func append24(out []byte, n int) []byte {
+	return append(out, byte(n), byte(n>>8), byte(n>>16))
+}
+
+func read24(data []byte, pos int) (int, int, error) {
+	if pos+3 > len(data) {
+		return 0, 0, fmt.Errorf("lzcomp: truncated length at byte %d", pos)
+	}
+	return int(data[pos]) | int(data[pos+1])<<8 | int(data[pos+2])<<16, pos + 3, nil
+}
+
+// MarshalBinary serializes the dictionary and the four token codes: a u24
+// dictionary length, the dictionary words little-endian, then each code as a
+// u24-length-prefixed huffman.Code blob in codes() order.
+func (c *Compressor) MarshalBinary() ([]byte, error) {
+	var out []byte
+	out = append24(out, len(c.dict))
+	for _, w := range c.dict {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], w)
+		out = append(out, b[:]...)
+	}
+	for _, code := range c.codes() {
+		blob, err := code.MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		if len(blob) > 0xFFFFFF {
+			return nil, fmt.Errorf("lzcomp: code table too large")
+		}
+		out = append24(out, len(blob))
+		out = append(out, blob...)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary deserializes tables written by MarshalBinary.
+func (c *Compressor) UnmarshalBinary(data []byte) error {
+	n, pos, err := read24(data, 0)
+	if err != nil {
+		return err
+	}
+	if pos+4*n > len(data) {
+		return fmt.Errorf("lzcomp: truncated dictionary of %d words", n)
+	}
+	c.dict = make([]uint32, n)
+	c.dictIdx = make(map[uint32]int, n)
+	c.dictInsts = nil
+	for i := range c.dict {
+		c.dict[i] = binary.LittleEndian.Uint32(data[pos:])
+		c.dictIdx[c.dict[i]] = i
+		pos += 4
+	}
+	codes := [4]**huffman.Code{&c.kindCode, &c.dictCode, &c.distCode, &c.lenCode}
+	for i, slot := range codes {
+		n, p, err := read24(data, pos)
+		if err != nil {
+			return err
+		}
+		pos = p
+		if pos+n > len(data) {
+			return fmt.Errorf("lzcomp: truncated table body for code %d", i)
+		}
+		*slot = &huffman.Code{}
+		if err := (*slot).UnmarshalBinary(data[pos : pos+n]); err != nil {
+			return fmt.Errorf("lzcomp: code %d: %w", i, err)
+		}
+		pos += n
+	}
+	if pos != len(data) {
+		return fmt.Errorf("lzcomp: %d trailing bytes", len(data)-pos)
+	}
+	return nil
 }

@@ -262,7 +262,7 @@ func (m *Machine) Step() error {
 		m.Cycles += CostOp
 	case uLDW:
 		addr := uint32(m.Reg[rb] + c.imm)
-		if addr%isa.WordSize != 0 || addr+4 > uint32(len(m.Mem)) {
+		if addr%isa.WordSize != 0 || addr > uint32(len(m.Mem))-4 {
 			_, err := m.ReadWord(addr) // reference trap message
 			return err
 		}
@@ -272,7 +272,7 @@ func (m *Machine) Step() error {
 		m.Cycles += CostMem
 	case uSTW:
 		addr := uint32(m.Reg[rb] + c.imm)
-		if addr%isa.WordSize != 0 || addr+4 > uint32(len(m.Mem)) {
+		if addr%isa.WordSize != 0 || addr > uint32(len(m.Mem))-4 {
 			return m.WriteWord(addr, uint32(m.Reg[ra]))
 		}
 		putWord(m.Mem, addr, uint32(m.Reg[ra]))

@@ -169,7 +169,7 @@ func (m *Machine) ReadWord(addr uint32) (uint32, error) {
 	if addr%isa.WordSize != 0 {
 		return 0, &TrapError{m.PC, fmt.Sprintf("unaligned word read at %#x", addr)}
 	}
-	if addr+4 > uint32(len(m.Mem)) {
+	if addr > uint32(len(m.Mem))-4 { // subtraction cannot wrap; checks addr+4 without overflow
 		return 0, &TrapError{m.PC, fmt.Sprintf("word read out of bounds at %#x", addr)}
 	}
 	return getWord(m.Mem, addr), nil
@@ -181,7 +181,7 @@ func (m *Machine) WriteWord(addr uint32, v uint32) error {
 	if addr%isa.WordSize != 0 {
 		return &TrapError{m.PC, fmt.Sprintf("unaligned word write at %#x", addr)}
 	}
-	if addr+4 > uint32(len(m.Mem)) {
+	if addr > uint32(len(m.Mem))-4 { // see ReadWord: avoids uint32 wrap at the top of the address space
 		return &TrapError{m.PC, fmt.Sprintf("word write out of bounds at %#x", addr)}
 	}
 	putWord(m.Mem, addr, v)
@@ -208,7 +208,7 @@ func (m *Machine) fetch(pc uint32) (isa.Inst, error) {
 	if idx >= 0 && idx < len(m.icache) && m.icache[idx].kind != uInvalid {
 		return m.icache[idx].inst, nil
 	}
-	if pc+4 > uint32(len(m.Mem)) {
+	if pc > uint32(len(m.Mem))-4 { // avoids uint32 wrap for fetches at the top of the address space
 		return isa.Inst{}, &TrapError{pc, "instruction fetch out of bounds"}
 	}
 	in := isa.Decode(getWord(m.Mem, pc))

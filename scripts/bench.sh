@@ -3,14 +3,17 @@
 #
 # Each benchmark is a fast/slow pair executed in the same process
 # (BenchmarkVMStep/{fast,slow}, BenchmarkHuffmanDecode/{table,tree},
-# BenchmarkRegionDecompress/{memo,decode}), so the within-run ratio is
-# meaningful even on noisy shared machines. -count repetitions give
+# BenchmarkRegionDecompress/{memo,decode}, BenchmarkInterpRegionExec/
+# {memo,decode}, BenchmarkLZDecode/*/{table,tree}), so the within-run ratio
+# is meaningful even on noisy shared machines. -count repetitions give
 # benchstat enough samples for a confidence interval:
 #
 #   scripts/bench.sh > new.txt
 #   benchstat old.txt new.txt        # or: benchstat new.txt  (ratios only)
 #
-# COUNT=1 scripts/bench.sh gives a quick single pass (CI uses this).
+# CI runs COUNT=1 and pipes the output into cmd/benchhist, which appends the
+# per-commit pair ratios to BENCH_history.json and fails on a regression
+# past the pair's floor.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,6 +21,6 @@ COUNT="${COUNT:-6}"
 BENCHTIME="${BENCHTIME:-1s}"
 
 go test -run '^$' \
-  -bench 'BenchmarkVMStep|BenchmarkHuffmanDecode|BenchmarkBitReaderReadBits|BenchmarkRegionDecompress' \
+  -bench 'BenchmarkVMStep|BenchmarkHuffmanDecode|BenchmarkBitReaderReadBits|BenchmarkRegionDecompress|BenchmarkInterpRegionExec|BenchmarkLZDecode' \
   -benchtime "$BENCHTIME" -count "$COUNT" \
-  ./internal/vm/ ./internal/huffman/ ./internal/core/
+  ./internal/vm/ ./internal/huffman/ ./internal/core/ ./internal/lzcomp/

@@ -10,6 +10,12 @@
 #   3. identical -stats lines: instructions, cycles, decompression counts,
 #      and compressed bits read must match to the digit.
 #
+# Every program is checked in three squash variants, one per fast path the
+# runtime ships: the default decompress-to-buffer image (split-stream coder),
+# the §8 interpret-in-place image (-interpret, exercising the decoded-
+# instruction memo), and the LZ dictionary-coder image (-coder lz,
+# exercising the table-driven token decoder).
+#
 # Usage: scripts/fastpath_guard.sh [bench ...]   (default: adpcm g721_enc gsm)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,6 +29,44 @@ trap 'rm -rf "$work"' EXIT
 echo "building tools..."
 go build -o "$work" ./cmd/mediabench ./cmd/em-as ./cmd/em-run ./cmd/squash
 
+# check_variant <bench> <label> [extra squash flags...]
+# Squashes twice (reproducibility), then runs the image with fast paths on
+# and off and demands identical status, output, and simulated stats.
+check_variant() {
+  local b=$1 label=$2
+  shift 2
+  local img="$work/$b.$label.sqz.exe"
+
+  "$work/squash" -profile "$work/$b.prof" "$@" -o "$img" "$work/$b.o" > /dev/null
+  "$work/squash" -profile "$work/$b.prof" "$@" -o "$img.2" "$work/$b.o" > /dev/null
+  local h1 h2
+  h1=$(sha256sum "$img" | cut -d' ' -f1)
+  h2=$(sha256sum "$img.2" | cut -d' ' -f1)
+  if [ "$h1" != "$h2" ]; then
+    echo "FAIL: $b [$label] squashed image not reproducible ($h1 vs $h2)" >&2
+    exit 1
+  fi
+  echo "$b [$label] squashed image sha256 $h1"
+
+  set +e
+  "$work/em-run" -stats -in "$work/$b.time.in" "$img" \
+    > "$work/$b.$label.fast.out" 2> "$work/$b.$label.fast.stats"
+  local fast_status=$?
+  "$work/em-run" -stats -nofastpath -in "$work/$b.time.in" "$img" \
+    > "$work/$b.$label.slow.out" 2> "$work/$b.$label.slow.stats"
+  local slow_status=$?
+  set -e
+  if [ "$fast_status" != "$slow_status" ]; then
+    echo "FAIL: $b [$label] exit status $fast_status (fast) vs $slow_status (-nofastpath)" >&2
+    exit 1
+  fi
+  cmp "$work/$b.$label.fast.out" "$work/$b.$label.slow.out" || {
+    echo "FAIL: $b [$label] output differs with -nofastpath" >&2; exit 1; }
+  diff "$work/$b.$label.fast.stats" "$work/$b.$label.slow.stats" || {
+    echo "FAIL: $b [$label] simulated stats differ with -nofastpath" >&2; exit 1; }
+  sed 's/^/  /' "$work/$b.$label.fast.stats"
+}
+
 for b in "${benches[@]}"; do
   echo "== $b =="
   "$work/mediabench" -only "$b" -dir "$work"
@@ -31,36 +75,9 @@ for b in "${benches[@]}"; do
   "$work/em-run" -in "$work/$b.prof.in" -profile "$work/$b.prof" \
     "$work/$b.exe" > /dev/null
 
-  # Squash twice to confirm the image is reproducible, then hash it.
-  "$work/squash" -profile "$work/$b.prof" -o "$work/$b.sqz.exe" "$work/$b.o"
-  "$work/squash" -profile "$work/$b.prof" -o "$work/$b.sqz2.exe" "$work/$b.o"
-  h1=$(sha256sum "$work/$b.sqz.exe" | cut -d' ' -f1)
-  h2=$(sha256sum "$work/$b.sqz2.exe" | cut -d' ' -f1)
-  if [ "$h1" != "$h2" ]; then
-    echo "FAIL: $b squashed image not reproducible ($h1 vs $h2)" >&2
-    exit 1
-  fi
-  echo "$b squashed image sha256 $h1"
-
-  # Run with fast paths (default) and with every fast path disabled; the
-  # exit status, output bytes, and stats must be identical.
-  set +e
-  "$work/em-run" -stats -in "$work/$b.time.in" "$work/$b.sqz.exe" \
-    > "$work/$b.fast.out" 2> "$work/$b.fast.stats"
-  fast_status=$?
-  "$work/em-run" -stats -nofastpath -in "$work/$b.time.in" "$work/$b.sqz.exe" \
-    > "$work/$b.slow.out" 2> "$work/$b.slow.stats"
-  slow_status=$?
-  set -e
-  if [ "$fast_status" != "$slow_status" ]; then
-    echo "FAIL: $b exit status $fast_status (fast) vs $slow_status (-nofastpath)" >&2
-    exit 1
-  fi
-  cmp "$work/$b.fast.out" "$work/$b.slow.out" || {
-    echo "FAIL: $b output differs with -nofastpath" >&2; exit 1; }
-  diff "$work/$b.fast.stats" "$work/$b.slow.stats" || {
-    echo "FAIL: $b simulated stats differ with -nofastpath" >&2; exit 1; }
-  sed 's/^/  /' "$work/$b.fast.stats"
+  check_variant "$b" default
+  check_variant "$b" interp -interpret -theta 0.001 -stub-capacity 64
+  check_variant "$b" lz -coder lz
 done
 
 echo "fastpath guard passed: ${benches[*]}"
