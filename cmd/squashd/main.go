@@ -1,0 +1,242 @@
+// Command squashd is the serve-mode squash daemon. In server mode it
+// listens on a Unix or TCP socket, runs the parallel squash pipeline for
+// each request, and keeps warm state — finished squash results keyed by
+// content hash, plus the experiments preparation cache — so repeated
+// requests skip the expensive work. Output is byte-identical to one-shot
+// cmd/squash for the same object, profile, and configuration.
+//
+// Server:
+//
+//	squashd -listen unix:/tmp/squashd.sock -workers 4 -timeout 60s
+//
+// Client (mirrors cmd/squash's flags; writes the image where -o says):
+//
+//	squashd -connect unix:/tmp/squashd.sock -profile prog.prof prog.sq.o -o prog.sqz.exe
+//	squashd -connect unix:/tmp/squashd.sock -bench adpcm_enc
+//	squashd -connect unix:/tmp/squashd.sock -stats
+//	squashd -connect unix:/tmp/squashd.sock -ping
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/regions"
+	"repro/internal/serve"
+)
+
+func main() {
+	// Mode selection.
+	listen := flag.String("listen", "", "serve on this address (unix:/path or tcp:host:port)")
+	connect := flag.String("connect", "", "act as a client of the daemon at this address")
+
+	// Server options.
+	srvWorkers := flag.Int("serve-workers", 0, "concurrent squash requests (0 = one per CPU)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout (0 = none)")
+	cacheEntries := flag.Int("cache-entries", 64, "warm squash-result cache size (negative disables)")
+	prepDir := flag.String("prep-cache", "", "on-disk experiments prep cache dir for -bench requests")
+
+	// Client requests.
+	stats := flag.Bool("stats", false, "client: print the server's stats snapshot as JSON")
+	ping := flag.Bool("ping", false, "client: check daemon liveness")
+	bench := flag.String("bench", "", "client: squash a named mediabench benchmark prepared server-side")
+	scale := flag.Float64("scale", 1.0, "client: input scale for -bench")
+
+	// Squash configuration, mirroring cmd/squash.
+	profIn := flag.String("profile", "", "basic-block profile from em-run -profile")
+	out := flag.String("o", "", "output image (default: input with .sqz.exe suffix)")
+	theta := flag.Float64("theta", 0.0, "cold-code threshold θ (fraction of dynamic instructions)")
+	k := flag.Int("K", 512, "runtime buffer bound in bytes")
+	gamma := flag.Float64("gamma", 0.66, "assumed compression factor for region selection")
+	noPack := flag.Bool("no-pack", false, "disable region packing")
+	loopAware := flag.Bool("loop-aware", false, "seed regions from natural loops (§9 extension)")
+	interpret := flag.Bool("interpret", false, "interpret compressed code in place instead of decompressing (§8 alternative)")
+	noBufferSafe := flag.Bool("no-buffersafe", false, "disable buffer-safe call analysis")
+	noUnswitch := flag.Bool("no-unswitch", false, "disable jump-table unswitching")
+	mtf := flag.Bool("mtf", false, "use the move-to-front stream coder variant")
+	coder := flag.String("coder", "stream", "region coder: stream (split-stream, §3) or lz (dictionary, §8)")
+	ctStubs := flag.Bool("compile-time-stubs", false, "materialize restore stubs statically (ablation)")
+	stubCap := flag.Int("stub-capacity", 16, "runtime restore-stub slots")
+	workers := flag.Int("workers", 0, "worker goroutines for one squash (0 = one per CPU); output is byte-identical at any count")
+	flag.Parse()
+
+	switch {
+	case *listen != "" && *connect != "":
+		fail(fmt.Errorf("-listen and -connect are mutually exclusive"))
+	case *listen != "":
+		runServer(*listen, serve.Options{
+			Workers:      *srvWorkers,
+			Timeout:      *timeout,
+			CacheEntries: *cacheEntries,
+			PrepCacheDir: *prepDir,
+		})
+	case *connect != "":
+		conf := core.Config{
+			Theta:                   *theta,
+			BufferSafe:              !*noBufferSafe,
+			Unswitch:                !*noUnswitch,
+			MTF:                     *mtf,
+			Coder:                   coderID(*coder),
+			Interpret:               *interpret,
+			CompileTimeRestoreStubs: *ctStubs,
+			StubCapacity:            *stubCap,
+			Workers:                 *workers,
+		}
+		conf.Regions.K = *k
+		conf.Regions.Gamma = *gamma
+		conf.Regions.Pack = !*noPack
+		if *loopAware {
+			conf.Regions.Strategy = regions.StrategyLoopAware
+		}
+		runClient(*connect, clientArgs{
+			stats: *stats, ping: *ping,
+			bench: *bench, scale: *scale,
+			profIn: *profIn, out: *out, conf: conf,
+		})
+	default:
+		fmt.Fprintln(os.Stderr, "usage: squashd -listen ADDR [server flags]")
+		fmt.Fprintln(os.Stderr, "       squashd -connect ADDR (-stats | -ping | -bench NAME | -profile prog.prof prog.o) [squash flags]")
+		os.Exit(2)
+	}
+}
+
+func runServer(addr string, opts serve.Options) {
+	s := serve.NewServer(opts)
+	ln, err := serve.Listen(addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "squashd: listening on %s\n", addr)
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "squashd: %s, draining in-flight requests\n", got)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "squashd: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		<-serveDone
+	case err := <-serveDone:
+		if err != nil && err != serve.ErrServerClosed {
+			fail(err)
+		}
+	}
+}
+
+type clientArgs struct {
+	stats, ping bool
+	bench       string
+	scale       float64
+	profIn, out string
+	conf        core.Config
+}
+
+func runClient(addr string, a clientArgs) {
+	conn, err := serve.Dial(addr)
+	if err != nil {
+		fail(err)
+	}
+	defer conn.Close()
+
+	switch {
+	case a.stats:
+		resp := must(serve.Do(conn, &serve.Request{Op: serve.OpStats}))
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resp.Server); err != nil {
+			fail(err)
+		}
+
+	case a.ping:
+		start := time.Now()
+		must(serve.Do(conn, &serve.Request{Op: serve.OpPing}))
+		fmt.Printf("squashd at %s is up (%s)\n", addr, time.Since(start).Round(time.Microsecond))
+
+	case a.bench != "":
+		resp := must(serve.Do(conn, &serve.Request{
+			Op: serve.OpBench, Bench: a.bench, Scale: a.scale, Config: &a.conf,
+		}))
+		name := a.out
+		if name == "" {
+			name = a.bench + ".sqz.exe"
+		}
+		writeImage(name, resp)
+
+	default:
+		if flag.NArg() != 1 || a.profIn == "" {
+			fail(fmt.Errorf("client squash needs -profile and one object argument"))
+		}
+		objBytes, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		profBytes, err := os.ReadFile(a.profIn)
+		if err != nil {
+			fail(err)
+		}
+		resp := must(serve.Do(conn, &serve.Request{
+			Op: serve.OpSquash, Obj: objBytes, Profile: profBytes, Config: &a.conf,
+		}))
+		name := a.out
+		if name == "" {
+			name = flag.Arg(0) + ".sqz.exe"
+		}
+		writeImage(name, resp)
+	}
+}
+
+func writeImage(name string, resp *serve.Response) {
+	if err := os.WriteFile(name, resp.Image, 0o644); err != nil {
+		fail(err)
+	}
+	st := resp.Stats
+	src := "computed"
+	if resp.Cached {
+		src = "warm cache"
+	}
+	fmt.Printf("%s: %d -> %d bytes (%.1f%% reduction), %s\n",
+		name, st.InputBytes, st.SquashedBytes, 100*st.Reduction(), src)
+	fmt.Printf("  %d regions, %d entry stubs, compression factor γ=%.3f\n",
+		st.RegionCount, st.EntryStubCount, st.CompressionRatio)
+}
+
+func must(resp *serve.Response, err error) *serve.Response {
+	if err != nil {
+		fail(err)
+	}
+	if !resp.OK {
+		fail(fmt.Errorf("server: %s", resp.Err))
+	}
+	return resp
+}
+
+func coderID(name string) int {
+	switch name {
+	case "stream":
+		return core.CoderStream
+	case "lz":
+		return core.CoderLZ
+	default:
+		fail(fmt.Errorf("unknown coder %q (want stream or lz)", name))
+		return 0
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "squashd:", err)
+	os.Exit(1)
+}

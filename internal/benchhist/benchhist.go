@@ -66,10 +66,26 @@ type Entry struct {
 }
 
 // ParseNsPerOp extracts ns/op samples from `go test -bench` text output.
-// Sub-benchmark names keep their slashes; the trailing -GOMAXPROCS suffix
-// is stripped, and repeated runs (-count N) accumulate as samples.
+// Sub-benchmark names keep their slashes, and repeated runs (-count N)
+// accumulate as samples.
+//
+// The trailing -GOMAXPROCS suffix is stripped, but only when it really is
+// the GOMAXPROCS suffix: `go test` appends the same `-N` to *every*
+// benchmark line of a run (and appends nothing at GOMAXPROCS=1), whereas a
+// sub-benchmark whose leaf name itself ends in `-<digits>`
+// (BenchmarkFoo/size-128) carries its digits on just its own lines. So the
+// suffix is identified across the whole input first — it is stripped only
+// if every benchmark line ends in the same `-N` — instead of blindly
+// cutting at the last dash per line, which used to merge
+// `BenchmarkFoo/size-128` at GOMAXPROCS=1 into `BenchmarkFoo/size`.
 func ParseNsPerOp(r io.Reader) (map[string][]float64, error) {
-	out := map[string][]float64{}
+	type sample struct {
+		name string
+		v    float64
+	}
+	var samples []sample
+	suffix := ""    // trailing -N shared by all lines so far ("" = none)
+	uniform := true // every line seen ends in the same -N
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -79,11 +95,8 @@ func ParseNsPerOp(r io.Reader) (map[string][]float64, error) {
 			continue
 		}
 		name := fields[0]
-		if i := strings.LastIndex(name, "-"); i > 0 {
-			if _, err := strconv.Atoi(name[i+1:]); err == nil {
-				name = name[:i]
-			}
-		}
+		var val float64
+		found := false
 		for i := 2; i+1 < len(fields); i += 2 {
 			if fields[i+1] != "ns/op" {
 				continue
@@ -92,12 +105,36 @@ func ParseNsPerOp(r io.Reader) (map[string][]float64, error) {
 			if err != nil {
 				return nil, fmt.Errorf("benchhist: bad ns/op %q for %s", fields[i], name)
 			}
-			out[name] = append(out[name], v)
+			val = v
+			found = true
 			break
 		}
+		if !found {
+			continue
+		}
+		cand := ""
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				cand = name[i:]
+			}
+		}
+		if len(samples) == 0 {
+			suffix = cand
+		} else if cand != suffix {
+			uniform = false
+		}
+		samples = append(samples, sample{name, val})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	out := map[string][]float64{}
+	for _, s := range samples {
+		name := s.name
+		if uniform && suffix != "" {
+			name = strings.TrimSuffix(name, suffix)
+		}
+		out[name] = append(out[name], s.v)
 	}
 	return out, nil
 }
@@ -174,13 +211,25 @@ func Read(path string) ([]Entry, error) {
 	return entries, nil
 }
 
-// Append adds entries to the history file, creating it if absent.
+// Append adds entries to the history file, creating it if absent. Existing
+// entries for the same (commit, benchmark) pair are replaced, so a re-run CI
+// job overwrites its commit's ratios instead of doubling them.
 func Append(path string, entries []Entry) error {
 	history, err := Read(path)
 	if err != nil {
 		return err
 	}
-	history = append(history, entries...)
+	replacing := map[[2]string]bool{}
+	for _, e := range entries {
+		replacing[[2]string{e.Commit, e.Benchmark}] = true
+	}
+	kept := history[:0]
+	for _, e := range history {
+		if !replacing[[2]string{e.Commit, e.Benchmark}] {
+			kept = append(kept, e)
+		}
+	}
+	history = append(kept, entries...)
 	data, err := json.MarshalIndent(history, "", "  ")
 	if err != nil {
 		return err

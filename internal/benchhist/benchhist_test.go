@@ -38,6 +38,62 @@ func TestParseNsPerOp(t *testing.T) {
 	}
 }
 
+// TestParseNsPerOpSuffixShapes: the GOMAXPROCS suffix is appended to every
+// benchmark line of a run (and to none at GOMAXPROCS=1), so it must be
+// identified across the whole input — a leaf name ending in -<digits> is
+// part of the benchmark's identity, not a suffix to strip.
+func TestParseNsPerOpSuffixShapes(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  map[string]int // benchmark name -> sample count
+	}{
+		{
+			name: "gomaxprocs 8, plain leaves",
+			input: "BenchmarkVMStep/fast-8 100 5.0 ns/op\n" +
+				"BenchmarkVMStep/slow-8 100 10.0 ns/op\n",
+			want: map[string]int{"BenchmarkVMStep/fast": 1, "BenchmarkVMStep/slow": 1},
+		},
+		{
+			name: "gomaxprocs 8, digit leaf keeps its digits",
+			input: "BenchmarkFoo/size-128-8 100 5.0 ns/op\n" +
+				"BenchmarkFoo/size-256-8 100 6.0 ns/op\n" +
+				"BenchmarkBar-8 100 7.0 ns/op\n",
+			want: map[string]int{"BenchmarkFoo/size-128": 1, "BenchmarkFoo/size-256": 1, "BenchmarkBar": 1},
+		},
+		{
+			name: "gomaxprocs 1, digit leaf not merged",
+			input: "BenchmarkFoo/size-128 100 5.0 ns/op\n" +
+				"BenchmarkFoo/size 100 6.0 ns/op\n" +
+				"BenchmarkBar 100 7.0 ns/op\n",
+			want: map[string]int{"BenchmarkFoo/size-128": 1, "BenchmarkFoo/size": 1, "BenchmarkBar": 1},
+		},
+		{
+			name: "gomaxprocs 1 with -count 2, digit leaf accumulates alone",
+			input: "BenchmarkFoo/size-128 100 5.0 ns/op\n" +
+				"BenchmarkFoo/size-128 100 5.5 ns/op\n" +
+				"BenchmarkBar 100 7.0 ns/op\n",
+			want: map[string]int{"BenchmarkFoo/size-128": 2, "BenchmarkBar": 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			samples, err := ParseNsPerOp(strings.NewReader(tc.input))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(samples) != len(tc.want) {
+				t.Fatalf("got names %v, want %v", samples, tc.want)
+			}
+			for name, n := range tc.want {
+				if got := len(samples[name]); got != n {
+					t.Errorf("%s: %d samples, want %d (map %v)", name, got, n, samples)
+				}
+			}
+		})
+	}
+}
+
 func TestRatiosAndCheck(t *testing.T) {
 	samples, err := ParseNsPerOp(strings.NewReader(sampleOutput))
 	if err != nil {
@@ -100,6 +156,49 @@ func TestAppendRoundTrip(t *testing.T) {
 	}
 	if all[0].Commit != "aaa" || all[2].Benchmark != "huffman-decode" {
 		t.Fatalf("history order wrong: %+v", all)
+	}
+}
+
+// TestAppendDedupsRerunCommit: a re-run CI job appending the same commit's
+// ratios again must replace the old entries, not double them; other commits
+// and other benchmarks of the same commit stay untouched.
+func TestAppendDedupsRerunCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.json")
+	if err := Append(path, []Entry{
+		{Commit: "aaa", Date: "2026-08-01", Benchmark: "vm-step", Ratio: 2.0},
+		{Commit: "bbb", Date: "2026-08-05", Benchmark: "vm-step", Ratio: 2.1},
+		{Commit: "bbb", Date: "2026-08-05", Benchmark: "huffman-decode", Ratio: 4.4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Re-run of commit bbb's vm-step pair with a fresher ratio.
+	if err := Append(path, []Entry{
+		{Commit: "bbb", Date: "2026-08-05", Benchmark: "vm-step", Ratio: 2.3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	all, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 3 {
+		t.Fatalf("re-run doubled the history: %d entries, want 3 (%+v)", len(all), all)
+	}
+	seen := 0
+	for _, e := range all {
+		if e.Commit == "bbb" && e.Benchmark == "vm-step" {
+			seen++
+			if e.Ratio != 2.3 {
+				t.Fatalf("stale ratio survived: %+v", e)
+			}
+		}
+	}
+	if seen != 1 {
+		t.Fatalf("%d (bbb, vm-step) entries, want 1", seen)
+	}
+	// Untouched pairs survive.
+	if all[0].Commit != "aaa" || all[0].Ratio != 2.0 {
+		t.Fatalf("unrelated entry disturbed: %+v", all[0])
 	}
 }
 

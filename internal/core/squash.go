@@ -146,6 +146,24 @@ type Output struct {
 	RegionLayouts []map[string]int
 }
 
+// checkTagBounds rejects configurations whose runtime tags cannot be packed.
+// Tags pack (region<<16 | resume) into one word (§2.3): the region index and
+// the buffer word offset each get 16 bits. CreateStub computes resume
+// offsets up to K/WordSize at run time, and region indices run to the
+// partition count, so either bound overflowing would silently corrupt tags
+// — the truncated tag names a *different* region/offset and the runtime
+// resumes in the wrong place. Both are hard errors at squash time instead.
+func checkTagBounds(k, nregions int) error {
+	if maxResume := k / isa.WordSize; maxResume > 0xFFFF {
+		return fmt.Errorf("buffer bound K=%d allows resume offsets up to %d, exceeding the 16-bit tag field (max K is %d)",
+			k, maxResume, 0xFFFF*isa.WordSize)
+	}
+	if nregions > 1<<16 {
+		return fmt.Errorf("%d regions exceed the 16-bit tag field (max %d)", nregions, 1<<16)
+	}
+	return nil
+}
+
 // Squash rewrites a squeezed program: cold regions are removed from the
 // code stream, compressed with the split-stream coder, and replaced by
 // entry stubs that invoke the runtime decompressor.
@@ -196,6 +214,9 @@ func Squash(obj *objfile.Object, counts profile.Counts, conf Config) (*Output, e
 	conf.Regions.Workers = conf.Workers
 	res, preds, err := regions.Partition(p, cold.Cold, conf.Regions)
 	if err != nil {
+		return nil, fmt.Errorf("squash: %w", err)
+	}
+	if err := checkTagBounds(conf.Regions.K, len(res.Regions)); err != nil {
 		return nil, fmt.Errorf("squash: %w", err)
 	}
 	stats.ColdInsts = res.ColdInsts

@@ -421,6 +421,40 @@ func TestMaxLiveStubsBounded(t *testing.T) {
 	t.Logf("max live restore stubs: %d", rt.Stats.MaxLiveStubs)
 }
 
+// TestSquashRejectsTagOverflow: runtime tags pack (region<<16 | resume), so
+// a buffer bound that admits resume offsets past 16 bits (or a region count
+// past 16 bits) must be an explicit squash-time error — silently truncated
+// tags would resume execution at the wrong buffer offset.
+func TestSquashRejectsTagOverflow(t *testing.T) {
+	obj, _, counts := prepare(t, testProgram, profInput)
+	conf := DefaultConfig()
+	conf.Regions.K = (0xFFFF + 1) * 4 // first K whose word offsets overflow
+	if _, err := Squash(obj, counts, conf); err == nil || !strings.Contains(err.Error(), "16-bit tag") {
+		t.Fatalf("K=%d accepted despite tag overflow, err=%v", conf.Regions.K, err)
+	}
+
+	// Bound checks directly: the largest legal values pass, one past fails.
+	if err := checkTagBounds(0xFFFF*4, 1<<16); err != nil {
+		t.Fatalf("maximal legal bounds rejected: %v", err)
+	}
+	if err := checkTagBounds(512, 1<<16+1); err == nil {
+		t.Fatal("region count past 16 bits accepted")
+	}
+	if err := checkTagBounds((0xFFFF+1)*4, 1); err == nil {
+		t.Fatal("resume offset past 16 bits accepted")
+	}
+
+	// A legal large K still squashes and runs.
+	conf.Regions.K = 0xFFFF * 4
+	out, err := Squash(obj, counts, conf)
+	if err != nil {
+		t.Fatalf("maximal legal K rejected: %v", err)
+	}
+	if out.Meta.K != conf.Regions.K {
+		t.Fatalf("K = %d, want %d", out.Meta.K, conf.Regions.K)
+	}
+}
+
 func TestSquashDeterministic(t *testing.T) {
 	obj, _, counts := prepare(t, testProgram, profInput)
 	conf := DefaultConfig()

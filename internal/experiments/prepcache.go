@@ -142,12 +142,30 @@ func benchFromPayload(spec mediabench.Spec, p *prepPayload) (*Bench, error) {
 	}, nil
 }
 
+// scaleSize applies the suite's input scale to one byte count. Truncation
+// must never reach zero: a benchmark with an empty profiling or timing input
+// is degenerate (nothing executes the input loop), so tiny scales clamp to a
+// single byte.
+func scaleSize(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// prepWarnf receives non-fatal preparation warnings (a failed disk-cache
+// write). Tests swap it to capture the message.
+var prepWarnf = func(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
 // prepareCached is prepare() behind the two cache layers. It reports whether
 // the result came from a cache (memory or disk).
 func prepareCached(spec mediabench.Spec, scale float64, dir string) (*Bench, bool, error) {
 	if scale != 1.0 {
-		spec.ProfBytes = int(float64(spec.ProfBytes) * scale)
-		spec.TimeBytes = int(float64(spec.TimeBytes) * scale)
+		spec.ProfBytes = scaleSize(spec.ProfBytes, scale)
+		spec.TimeBytes = scaleSize(spec.TimeBytes, scale)
 	}
 	key := prepKey(spec)
 	if v, ok := prepMem.Load(key); ok {
@@ -169,12 +187,27 @@ func prepareCached(spec mediabench.Spec, scale float64, dir string) (*Bench, boo
 	}
 	prepMem.Store(key, p)
 	if dir != "" {
+		// The payload is already computed and stored in memory; a failed
+		// disk write (read-only or full cache directory) only costs the
+		// *next* process a recompute, so it degrades to a warning.
 		if err := writePrepFile(dir, key, p); err != nil {
-			return nil, false, fmt.Errorf("prep cache: %w", err)
+			prepWarnf("experiments: %s: prep cache write failed, continuing uncached: %v", spec.Name, err)
 		}
 	}
 	b, err := benchFromPayload(spec, p)
 	return b, false, err
+}
+
+// PrepareSpec prepares one named benchmark through the content-keyed cache
+// layers (always-on memory, optional disk under cacheDir), for callers
+// outside the suite loader — the squash daemon serves named-benchmark
+// requests through it. It reports whether the preparation came from a cache.
+func PrepareSpec(name string, scale float64, cacheDir string) (*Bench, bool, error) {
+	spec, ok := mediabench.SpecByName(name)
+	if !ok {
+		return nil, false, fmt.Errorf("experiments: unknown benchmark %q", name)
+	}
+	return prepareCached(spec, scale, cacheDir)
 }
 
 // --- disk layer ----------------------------------------------------------

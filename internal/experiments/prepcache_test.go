@@ -155,6 +155,72 @@ func TestPrepCacheCorruptionRecovers(t *testing.T) {
 	}
 }
 
+// TestPrepCacheWriteFailureDegrades: when the disk layer cannot be written
+// (here: the cache "directory" is a regular file, so MkdirAll fails — the
+// same shape as a read-only or full cache dir), preparation must still
+// succeed from the computed payload, with only a warning.
+func TestPrepCacheWriteFailureDegrades(t *testing.T) {
+	spec := adpcmSpec(t)
+	notADir := filepath.Join(t.TempDir(), "cache")
+	if err := os.WriteFile(notADir, []byte("occupied"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var warned string
+	origWarn := prepWarnf
+	prepWarnf = func(format string, args ...any) { warned = format }
+	defer func() { prepWarnf = origWarn }()
+
+	resetPrepCache()
+	b, hit, err := prepareCached(spec, 0.05, notADir)
+	if err != nil {
+		t.Fatalf("prepareCached failed on unwritable cache dir: %v", err)
+	}
+	if hit {
+		t.Fatal("fresh cache reported a hit")
+	}
+	if b == nil || b.SqObj == nil {
+		t.Fatal("no bench returned")
+	}
+	if warned == "" {
+		t.Fatal("failed disk write produced no warning")
+	}
+	// The in-memory layer was still populated: the retry is a hit.
+	again, hit, err := prepareCached(spec, 0.05, notADir)
+	if err != nil || !hit {
+		t.Fatalf("memory layer not populated after disk failure: hit=%v err=%v", hit, err)
+	}
+	if !bytes.Equal(benchFingerprint(t, b), benchFingerprint(t, again)) {
+		t.Fatal("memory hit differs from the degraded preparation")
+	}
+}
+
+// TestPrepScaleClampsToOne: truncating the input scale must never produce an
+// empty profiling or timing input; tiny scales clamp to one byte.
+func TestPrepScaleClampsToOne(t *testing.T) {
+	if got := scaleSize(20000, 1e-9); got != 1 {
+		t.Fatalf("scaleSize(20000, 1e-9) = %d, want 1", got)
+	}
+	if got := scaleSize(20000, 0.05); got != 1000 {
+		t.Fatalf("scaleSize(20000, 0.05) = %d, want 1000", got)
+	}
+
+	spec := adpcmSpec(t)
+	resetPrepCache()
+	b, _, err := prepareCached(spec, 1e-9, "")
+	if err != nil {
+		t.Fatalf("prepareCached at tiny scale: %v", err)
+	}
+	if b.Spec.ProfBytes < 1 || b.Spec.TimeBytes < 1 {
+		t.Fatalf("scaled inputs truncated to zero: prof=%d time=%d",
+			b.Spec.ProfBytes, b.Spec.TimeBytes)
+	}
+	if len(b.Spec.ProfilingInput()) < 1 || len(b.Spec.TimingInput()) < 1 {
+		t.Fatalf("empty generated inputs: prof=%d time=%d",
+			len(b.Spec.ProfilingInput()), len(b.Spec.TimingInput()))
+	}
+}
+
 // TestLoadCachedSuiteHits: a second LoadCached of the full suite is served
 // entirely from cache and matches the first load bench-for-bench — the
 // property that lets matrix runs share preparation.

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// resultCache is the daemon's warm state: finished squash results — the
+// linked image (whose metadata carries the trained per-config codebooks)
+// plus statistics — keyed by a content hash of (object, profile, config).
+// Squash is deterministic for a given key, so serving a cached image is
+// byte-identical to recomputing it; the cache only ever changes latency.
+// Bounded LRU so a daemon fed a stream of distinct programs stays flat in
+// memory.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[[32]byte]*list.Element
+}
+
+type cacheEntry struct {
+	key   [32]byte
+	image []byte
+	stats core.Stats
+	foot  core.Footprint
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{cap: capacity, order: list.New(), entries: map[[32]byte]*list.Element{}}
+}
+
+// resultKey hashes everything the squash output depends on. Worker counts
+// are zeroed first: the pipeline is byte-identical at any count (the PR 1
+// determinism gate), so they must not fragment the cache.
+func resultKey(obj, prof []byte, conf core.Config) [32]byte {
+	conf.Workers = 0
+	conf.Regions.Workers = 0
+	confJSON, _ := json.Marshal(conf) // struct of scalars; cannot fail
+	h := sha256.New()
+	var n [4]byte
+	for _, part := range [][]byte{obj, prof, confJSON} {
+		binary.LittleEndian.PutUint32(n[:], uint32(len(part)))
+		h.Write(n[:])
+		h.Write(part)
+	}
+	var k [32]byte
+	copy(k[:], h.Sum(nil))
+	return k
+}
+
+func (c *resultCache) get(key [32]byte) (*cacheEntry, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+func (c *resultCache) put(e *cacheEntry) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.key]; ok {
+		// Concurrent miss on the same key: both computed the same bytes;
+		// keep the resident entry.
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[e.key] = c.order.PushFront(e)
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

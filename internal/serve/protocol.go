@@ -1,0 +1,152 @@
+// Package serve implements the squash daemon: a long-lived process that
+// accepts squash requests over a Unix or TCP socket and answers each with
+// the squashed image plus its statistics — the paper's compressor as a
+// service instead of a one-shot CLI. The point of staying resident is warm
+// state: trained per-config squash results are cached under a content hash
+// (object + profile + config), and named-benchmark requests reuse the
+// experiments preparation cache, so repeated requests skip the dominant
+// fixed costs. The daemon is byte-compatible with cmd/squash: for the same
+// object, profile, and configuration, the returned image is identical to
+// the one-shot tool's output file, at any request concurrency.
+//
+// Wire protocol: length-prefixed JSON frames. Each frame is a 4-byte
+// little-endian byte count followed by one JSON document (a Request from
+// client to server, a Response back). A connection carries any number of
+// request/response pairs in sequence; concurrency comes from opening
+// multiple connections.
+package serve
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// MaxFrame bounds one frame's JSON body. Squashed mediabench images are a
+// few hundred KB; 64 MB leaves room for far larger programs while keeping a
+// garbage length prefix from allocating unbounded memory.
+const MaxFrame = 64 << 20
+
+// Request operations.
+const (
+	// OpSquash compresses an inline object with an inline profile.
+	OpSquash = "squash"
+	// OpBench prepares a named mediabench benchmark through the experiments
+	// prep cache, then squashes it.
+	OpBench = "bench"
+	// OpStats reports the server's counters and latency percentiles.
+	OpStats = "stats"
+	// OpPing checks liveness.
+	OpPing = "ping"
+)
+
+// Request is one client frame.
+type Request struct {
+	Op string `json:"op"`
+
+	// OpSquash: the relocatable object (objfile "EMO1" bytes), its profile
+	// (profile "EMP1" bytes), and the squash configuration (nil means
+	// core.DefaultConfig()).
+	Obj     []byte       `json:"obj,omitempty"`
+	Profile []byte       `json:"profile,omitempty"`
+	Config  *core.Config `json:"config,omitempty"`
+
+	// OpBench: a mediabench benchmark name and input scale (0 means 1.0).
+	// Config applies as for OpSquash.
+	Bench string  `json:"bench,omitempty"`
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// Response is one server frame.
+type Response struct {
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+
+	// Squash results: the linked executable image ("EMX1" bytes, identical
+	// to cmd/squash's output file) and the run's statistics.
+	Image []byte          `json:"image,omitempty"`
+	Stats *core.Stats     `json:"stats,omitempty"`
+	Foot  *core.Footprint `json:"foot,omitempty"`
+	// Cached reports a warm squash-result cache hit; PrepCached reports a
+	// warm preparation (OpBench only).
+	Cached     bool `json:"cached,omitempty"`
+	PrepCached bool `json:"prep_cached,omitempty"`
+
+	// Server carries the OpStats snapshot.
+	Server *Snapshot `json:"server,omitempty"`
+}
+
+// WriteFrame marshals v and writes one length-prefixed frame.
+func WriteFrame(w io.Writer, v any) error {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("serve: marshal frame: %w", err)
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("serve: frame of %d bytes exceeds limit %d", len(body), MaxFrame)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame into v.
+func ReadFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return fmt.Errorf("serve: frame of %d bytes exceeds limit %d", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("serve: unmarshal frame: %w", err)
+	}
+	return nil
+}
+
+// Dial connects to a daemon address: "unix:/path/to.sock", "tcp:host:port",
+// or a bare "host:port" (TCP).
+func Dial(addr string) (net.Conn, error) {
+	network, address := SplitAddr(addr)
+	return net.Dial(network, address)
+}
+
+// SplitAddr resolves an address spec into (network, address) for net.Dial /
+// net.Listen.
+func SplitAddr(addr string) (string, string) {
+	switch {
+	case strings.HasPrefix(addr, "unix:"):
+		return "unix", strings.TrimPrefix(addr, "unix:")
+	case strings.HasPrefix(addr, "tcp:"):
+		return "tcp", strings.TrimPrefix(addr, "tcp:")
+	default:
+		return "tcp", addr
+	}
+}
+
+// Do sends one request and reads its response over conn.
+func Do(conn net.Conn, req *Request) (*Response, error) {
+	if err := WriteFrame(conn, req); err != nil {
+		return nil, err
+	}
+	resp := &Response{}
+	if err := ReadFrame(conn, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,485 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/objfile"
+	"repro/internal/profile"
+	"repro/internal/testprog"
+	"repro/internal/vm"
+)
+
+// buildWorkload assembles a random test program, profiles it, and returns
+// the serialized object and profile plus the byte-exact image the one-shot
+// path (cmd/squash's core.Squash + Image.WriteTo) produces for conf.
+func buildWorkload(t *testing.T, seed int64, conf core.Config) (objBytes, profBytes, wantImage []byte) {
+	t.Helper()
+	src := testprog.Random(seed)
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	im, err := objfile.Link("main", obj)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	m := vm.New(im, []byte("serve-mode determinism input"))
+	m.EnableProfile()
+	if err := m.Run(); err != nil {
+		t.Fatalf("profile run: %v", err)
+	}
+
+	var ob, pb bytes.Buffer
+	if _, err := obj.WriteTo(&ob); err != nil {
+		t.Fatalf("serialize object: %v", err)
+	}
+	if _, err := profile.Counts(m.Profile).WriteTo(&pb); err != nil {
+		t.Fatalf("serialize profile: %v", err)
+	}
+
+	out, err := core.Squash(obj, m.Profile, conf)
+	if err != nil {
+		t.Fatalf("one-shot squash: %v", err)
+	}
+	var img bytes.Buffer
+	if _, err := out.Image.WriteTo(&img); err != nil {
+		t.Fatalf("serialize image: %v", err)
+	}
+	return ob.Bytes(), pb.Bytes(), img.Bytes()
+}
+
+// startServer runs a server on a Unix socket in a temp dir and returns its
+// address plus a shutdown func. Logs go to the test log.
+func startServer(t *testing.T, opts Options) (*Server, string, func()) {
+	t.Helper()
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	s := NewServer(opts)
+	addr := "unix:" + filepath.Join(t.TempDir(), "squashd.sock")
+	ln, err := Listen(addr)
+	if err != nil {
+		t.Fatalf("listen %s: %v", addr, err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ln) }()
+	stop := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-serveDone; err != ErrServerClosed {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	}
+	return s, addr, stop
+}
+
+// TestServeDeterminismConcurrentClients is the tentpole guarantee: the
+// daemon's output is byte-identical to one-shot cmd/squash for the same
+// inputs, with many clients hammering it at once, and the repeats show up
+// as warm-cache hits in the stats.
+func TestServeDeterminismConcurrentClients(t *testing.T) {
+	// Two distinct workloads under two configs each: cache must key them
+	// apart while still hitting on exact repeats.
+	confA := core.DefaultConfig()
+	confB := core.DefaultConfig()
+	confB.Theta = 0.01
+	confB.MTF = true
+
+	type workload struct {
+		obj, prof, want []byte
+		conf            core.Config
+	}
+	var loads []workload
+	for _, seed := range []int64{3, 11} {
+		for _, conf := range []core.Config{confA, confB} {
+			obj, prof, want := buildWorkload(t, seed, conf)
+			loads = append(loads, workload{obj, prof, want, conf})
+		}
+	}
+
+	s, addr, stop := startServer(t, Options{Workers: 4})
+	defer stop()
+
+	const clients = 6
+	const reqsPerClient = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			conn, err := Dial(addr)
+			if err != nil {
+				errs <- fmt.Errorf("client %d: dial: %v", c, err)
+				return
+			}
+			defer conn.Close()
+			for i := 0; i < reqsPerClient; i++ {
+				w := loads[(c+i)%len(loads)]
+				conf := w.conf
+				// Vary the request's worker count: the daemon must stay
+				// byte-identical regardless (cache keys ignore workers).
+				conf.Workers = 1 + (c+i)%4
+				resp, err := Do(conn, &Request{Op: OpSquash, Obj: w.obj, Profile: w.prof, Config: &conf})
+				if err != nil {
+					errs <- fmt.Errorf("client %d req %d: %v", c, i, err)
+					return
+				}
+				if !resp.OK {
+					errs <- fmt.Errorf("client %d req %d: server error: %s", c, i, resp.Err)
+					return
+				}
+				if !bytes.Equal(resp.Image, w.want) {
+					errs <- fmt.Errorf("client %d req %d: image diverged from one-shot squash (%d vs %d bytes)",
+						c, i, len(resp.Image), len(w.want))
+					return
+				}
+			}
+			errs <- nil
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := s.StatsSnapshot()
+	total := clients * reqsPerClient
+	if got := snap.SquashCacheHits + snap.SquashCacheMisses; got != uint64(total) {
+		t.Fatalf("cache lookups = %d, want %d", got, total)
+	}
+	// 4 distinct (obj, prof, conf) keys; everything past first-computation
+	// must hit. Concurrent first requests can each miss, but the cache is
+	// still required to absorb the bulk of the load.
+	if snap.SquashCacheHits < uint64(total/2) {
+		t.Fatalf("cache hits = %d of %d requests; warm state is not being reused", snap.SquashCacheHits, total)
+	}
+	if snap.Requests[OpSquash] != uint64(total) {
+		t.Fatalf("requests[squash] = %d, want %d", snap.Requests[OpSquash], total)
+	}
+	if snap.Errors != 0 {
+		t.Fatalf("server reported %d errors", snap.Errors)
+	}
+	if snap.Latency.Count == 0 {
+		t.Fatal("latency window is empty after serving requests")
+	}
+}
+
+// TestServeShutdownDrainsInFlight: a request already being processed when
+// Shutdown starts still gets its response, new connections are refused, and
+// Shutdown returns only after the drain.
+func TestServeShutdownDrainsInFlight(t *testing.T) {
+	obj, prof, want := buildWorkload(t, 5, core.DefaultConfig())
+
+	s, addr, _ := startServer(t, Options{Workers: 2})
+	s.testDelay.Store(int64(150 * time.Millisecond))
+
+	conn, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+
+	// Fire the request and give the server time to pull it onto a worker.
+	if err := WriteFrame(conn, &Request{Op: OpSquash, Obj: obj, Profile: prof}); err != nil {
+		t.Fatalf("write request: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.StatsSnapshot().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownDone <- s.Shutdown(ctx)
+	}()
+
+	// The in-flight request must complete with the correct bytes.
+	var resp Response
+	if err := ReadFrame(conn, &resp); err != nil {
+		t.Fatalf("read response during shutdown: %v", err)
+	}
+	if !resp.OK {
+		t.Fatalf("in-flight request failed during shutdown: %s", resp.Err)
+	}
+	if !bytes.Equal(resp.Image, want) {
+		t.Fatal("drained response diverged from one-shot squash")
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// The connection was drained closed: the next read reports EOF.
+	if err := ReadFrame(conn, &resp); err == nil {
+		t.Fatal("connection still serving after drain")
+	}
+	// And new connections are refused.
+	if c, err := Dial(addr); err == nil {
+		c.Close()
+		t.Fatal("dial succeeded after shutdown")
+	}
+}
+
+// TestServeRequestTimeout: a request slower than the server timeout gets an
+// error response (the connection stays usable) and the timeout counter
+// moves.
+func TestServeRequestTimeout(t *testing.T) {
+	s, addr, stop := startServer(t, Options{Workers: 1, Timeout: 30 * time.Millisecond})
+	defer stop()
+	s.testDelay.Store(int64(500 * time.Millisecond))
+
+	conn, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	obj, prof, _ := buildWorkload(t, 7, core.DefaultConfig())
+	resp, err := Do(conn, &Request{Op: OpSquash, Obj: obj, Profile: prof})
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	if resp.OK {
+		t.Fatal("request succeeded despite exceeding the server timeout")
+	}
+	if snap := s.StatsSnapshot(); snap.Timeouts == 0 {
+		t.Fatalf("timeouts = 0 after a timed-out request (snapshot %+v)", snap)
+	}
+
+	// The same connection still answers once the stall is irrelevant.
+	s.testDelay.Store(0)
+	// The timed-out squash may still hold the single worker; wait for it.
+	pingOK := false
+	for d := time.Now().Add(5 * time.Second); time.Now().Before(d); {
+		r, err := Do(conn, &Request{Op: OpPing})
+		if err != nil {
+			t.Fatalf("ping after timeout: %v", err)
+		}
+		if r.OK {
+			pingOK = true
+			break
+		}
+	}
+	if !pingOK {
+		t.Fatal("connection unusable after a timed-out request")
+	}
+}
+
+// TestServeBadRequests: malformed requests produce error responses, not
+// dropped connections, and count as errors in the stats.
+func TestServeBadRequests(t *testing.T) {
+	s, addr, stop := startServer(t, Options{Workers: 1})
+	defer stop()
+	conn, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+
+	cases := []*Request{
+		{Op: "nonsense"},
+		{Op: OpSquash}, // missing payloads
+		{Op: OpSquash, Obj: []byte("garbage"), Profile: []byte("garbage")},
+		{Op: OpBench, Bench: "no-such-benchmark"},
+	}
+	for _, req := range cases {
+		resp, err := Do(conn, req)
+		if err != nil {
+			t.Fatalf("op %q: transport error: %v", req.Op, err)
+		}
+		if resp.OK {
+			t.Fatalf("op %q: accepted a malformed request", req.Op)
+		}
+		if resp.Err == "" {
+			t.Fatalf("op %q: error response with no message", req.Op)
+		}
+	}
+	if snap := s.StatsSnapshot(); snap.Errors != uint64(len(cases)) {
+		t.Fatalf("errors = %d, want %d", snap.Errors, len(cases))
+	}
+	// The connection survives all of it.
+	if resp, err := Do(conn, &Request{Op: OpPing}); err != nil || !resp.OK {
+		t.Fatalf("ping after bad requests: resp=%+v err=%v", resp, err)
+	}
+}
+
+// TestServeStatsInline: OpStats answers even with every worker occupied.
+func TestServeStatsInline(t *testing.T) {
+	s, addr, stop := startServer(t, Options{Workers: 1})
+	defer stop()
+	s.testDelay.Store(int64(300 * time.Millisecond))
+
+	obj, prof, _ := buildWorkload(t, 9, core.DefaultConfig())
+	busy, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer busy.Close()
+	if err := WriteFrame(busy, &Request{Op: OpSquash, Obj: obj, Profile: prof}); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.StatsSnapshot().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never became in-flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	conn, err := Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	start := time.Now()
+	resp, err := Do(conn, &Request{Op: OpStats})
+	if err != nil || !resp.OK || resp.Server == nil {
+		t.Fatalf("stats: resp=%+v err=%v", resp, err)
+	}
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Fatalf("stats took %s; it must not queue behind squash work", d)
+	}
+	if resp.Server.InFlight == 0 {
+		t.Fatal("stats snapshot does not show the in-flight squash")
+	}
+	// Let the busy request finish so shutdown drains promptly.
+	var busyResp Response
+	if err := ReadFrame(busy, &busyResp); err != nil {
+		t.Fatalf("busy response: %v", err)
+	}
+}
+
+// TestResultKeyIgnoresWorkers: worker counts must not fragment the warm
+// cache — the pipeline output is identical across them.
+func TestResultKeyIgnoresWorkers(t *testing.T) {
+	obj, prof := []byte("obj"), []byte("prof")
+	a := core.DefaultConfig()
+	a.Workers = 1
+	a.Regions.Workers = 1
+	b := core.DefaultConfig()
+	b.Workers = 8
+	b.Regions.Workers = 3
+	if resultKey(obj, prof, a) != resultKey(obj, prof, b) {
+		t.Fatal("worker counts changed the cache key")
+	}
+	c := core.DefaultConfig()
+	c.Theta = 0.123
+	if resultKey(obj, prof, a) == resultKey(obj, prof, c) {
+		t.Fatal("distinct configs collided")
+	}
+	if resultKey(obj, prof, a) == resultKey([]byte("obj2"), prof, a) {
+		t.Fatal("distinct objects collided")
+	}
+}
+
+// TestResultCacheEvicts: the LRU stays bounded and evicts oldest-first.
+func TestResultCacheEvicts(t *testing.T) {
+	c := newResultCache(2)
+	key := func(i byte) [32]byte { return [32]byte{i} }
+	for i := byte(1); i <= 3; i++ {
+		c.put(&cacheEntry{key: key(i), image: []byte{i}})
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if _, ok := c.get(key(1)); ok {
+		t.Fatal("oldest entry survived past capacity")
+	}
+	if _, ok := c.get(key(3)); !ok {
+		t.Fatal("newest entry missing")
+	}
+	// A get refreshes recency: touch 2, insert 4, and 3 should go instead.
+	c.get(key(2))
+	c.put(&cacheEntry{key: key(4), image: []byte{4}})
+	if _, ok := c.get(key(2)); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := c.get(key(3)); ok {
+		t.Fatal("least recently used entry survived")
+	}
+}
+
+// TestFrameRoundTrip: frames survive the wire and oversized frames are
+// rejected on both sides.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := &Request{Op: OpSquash, Obj: []byte{1, 2, 3}, Profile: []byte{4, 5}}
+	if err := WriteFrame(&buf, in); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	var out Request
+	if err := ReadFrame(&buf, &out); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if out.Op != in.Op || !bytes.Equal(out.Obj, in.Obj) || !bytes.Equal(out.Profile, in.Profile) {
+		t.Fatalf("round trip mutated the request: %+v", out)
+	}
+
+	// A hostile length prefix must not allocate.
+	var hdr bytes.Buffer
+	hdr.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if err := ReadFrame(&hdr, &out); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// TestSplitAddr covers the three address spellings.
+func TestSplitAddr(t *testing.T) {
+	cases := []struct{ in, net, addr string }{
+		{"unix:/tmp/x.sock", "unix", "/tmp/x.sock"},
+		{"tcp:127.0.0.1:900", "tcp", "127.0.0.1:900"},
+		{"127.0.0.1:900", "tcp", "127.0.0.1:900"},
+	}
+	for _, c := range cases {
+		n, a := SplitAddr(c.in)
+		if n != c.net || a != c.addr {
+			t.Fatalf("SplitAddr(%q) = (%q, %q), want (%q, %q)", c.in, n, a, c.net, c.addr)
+		}
+	}
+}
+
+// TestListenReplacesStaleSocket: a dead socket file is replaced; a live one
+// is refused.
+func TestListenReplacesStaleSocket(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stale.sock")
+	ln, err := net.Listen("unix", path)
+	if err != nil {
+		t.Fatalf("first listen: %v", err)
+	}
+	// Simulate a crashed daemon: close the listener but leave the file.
+	// Go removes the file on Close, so recreate the stale-file state.
+	ln.Close()
+	if f, err := net.Listen("unix", path); err == nil {
+		f.(*net.UnixListener).SetUnlinkOnClose(false)
+		f.Close()
+	}
+	ln2, err := Listen("unix:" + path)
+	if err != nil {
+		t.Fatalf("listen over stale socket: %v", err)
+	}
+	defer ln2.Close()
+
+	// A second daemon must refuse the live socket.
+	if _, err := Listen("unix:" + path); err == nil {
+		t.Fatal("second listener took over a live socket")
+	}
+}

@@ -1,0 +1,391 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/objfile"
+	"repro/internal/parallel"
+	"repro/internal/profile"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown, mirroring net/http.
+var ErrServerClosed = errors.New("serve: server closed")
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds the number of squash requests processed at once (the
+	// size of the worker pool); <= 0 means one per CPU. Each request's
+	// pipeline-internal worker count comes from its own core.Config.
+	Workers int
+	// Timeout bounds one request's total time in the server, queueing
+	// included; 0 disables. On expiry the client gets an error response;
+	// an already-running squash finishes in the background (the pipeline
+	// is not cancellable mid-flight) and still warms the cache.
+	Timeout time.Duration
+	// CacheEntries bounds the warm squash-result cache; 0 means the
+	// default (64), negative disables caching.
+	CacheEntries int
+	// PrepCacheDir is the on-disk experiments preparation cache for
+	// OpBench requests; empty uses only the in-memory layer.
+	PrepCacheDir string
+	// Logf receives one structured line per request (and lifecycle
+	// events); nil logs to stderr.
+	Logf func(format string, args ...any)
+}
+
+// Server is the squash daemon.
+type Server struct {
+	opts  Options
+	pool  *parallel.Pool
+	cache *resultCache
+	met   *metrics
+	logf  func(format string, args ...any)
+	reqID atomic.Uint64
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[*connState]struct{}
+	closed    bool
+
+	connWG sync.WaitGroup
+
+	// testDelay stalls request processing inside the worker (tests of
+	// draining and timeouts only). Nanoseconds; atomic because tests adjust
+	// it while abandoned workers may still be reading it.
+	testDelay atomic.Int64
+}
+
+// connState tracks one client connection so Shutdown can distinguish idle
+// connections (closed immediately) from those with a request in flight
+// (drained: the response is written, then the connection closes).
+type connState struct {
+	c  net.Conn
+	mu sync.Mutex
+	// busy marks a request between read and response write.
+	busy bool
+	// draining tells the handler to close after the in-flight response.
+	draining bool
+}
+
+// NewServer builds a server; call Serve with one or more listeners.
+func NewServer(opts Options) *Server {
+	if opts.CacheEntries == 0 {
+		opts.CacheEntries = 64
+	}
+	logf := opts.Logf
+	if logf == nil {
+		l := log.New(os.Stderr, "squashd ", log.LstdFlags|log.Lmicroseconds)
+		logf = l.Printf
+	}
+	return &Server{
+		opts:      opts,
+		pool:      parallel.NewPool(opts.Workers),
+		cache:     newResultCache(opts.CacheEntries),
+		met:       newMetrics(),
+		logf:      logf,
+		listeners: map[net.Listener]struct{}{},
+		conns:     map[*connState]struct{}{},
+	}
+}
+
+// Listen opens the daemon socket for an address spec ("unix:/path",
+// "tcp:host:port", or bare "host:port"). A stale Unix socket file from a
+// previous run is removed first.
+func Listen(addr string) (net.Listener, error) {
+	network, address := SplitAddr(addr)
+	if network == "unix" {
+		if _, err := os.Stat(address); err == nil {
+			// Probe whether a live daemon owns it before unlinking.
+			if c, err := net.Dial("unix", address); err == nil {
+				c.Close()
+				return nil, fmt.Errorf("serve: %s already has a live server", addr)
+			}
+			os.Remove(address)
+		}
+	}
+	return net.Listen(network, address)
+}
+
+// Serve accepts connections until Shutdown. It returns ErrServerClosed
+// after a graceful shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return err
+		}
+		cs := &connState{c: conn}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[cs] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(cs)
+	}
+}
+
+func (s *Server) removeConn(cs *connState) {
+	s.mu.Lock()
+	delete(s.conns, cs)
+	s.mu.Unlock()
+	cs.c.Close()
+	s.connWG.Done()
+}
+
+func (s *Server) handleConn(cs *connState) {
+	defer s.removeConn(cs)
+	br := bufio.NewReader(cs.c)
+	for {
+		var req Request
+		if err := ReadFrame(br, &req); err != nil {
+			// EOF, client close, or the shutdown close of an idle
+			// connection all end the session here.
+			return
+		}
+		cs.mu.Lock()
+		if cs.draining {
+			// Shutdown won the race while the frame was in transit; the
+			// request was never in flight, so it is not served.
+			cs.mu.Unlock()
+			return
+		}
+		cs.busy = true
+		cs.mu.Unlock()
+
+		resp := s.dispatch(&req)
+		err := WriteFrame(cs.c, resp)
+
+		cs.mu.Lock()
+		cs.busy = false
+		drain := cs.draining
+		cs.mu.Unlock()
+		if err != nil || drain {
+			return
+		}
+	}
+}
+
+// dispatch runs one request through the bounded pool with the per-request
+// timeout and records metrics and the structured log line.
+func (s *Server) dispatch(req *Request) *Response {
+	id := s.reqID.Add(1)
+	start := time.Now()
+	s.met.begin(req.Op)
+
+	var resp *Response
+	timedOut := false
+	switch req.Op {
+	case OpStats:
+		// Served inline: the stats endpoint must answer even when every
+		// worker is busy — that is exactly when an operator asks.
+		resp = &Response{OK: true, Server: s.met.snapshot()}
+	case OpPing:
+		resp = &Response{OK: true}
+	default:
+		resp, timedOut = s.dispatchWork(req)
+	}
+
+	dur := time.Since(start)
+	s.met.end(dur, !resp.OK, timedOut)
+	s.logf("req=%d op=%s bench=%q in_bytes=%d out_bytes=%d cache=%s dur=%s ok=%v err=%q",
+		id, req.Op, req.Bench, len(req.Obj)+len(req.Profile), len(resp.Image),
+		cacheLabel(resp), dur.Round(time.Microsecond), resp.OK, resp.Err)
+	return resp
+}
+
+func cacheLabel(r *Response) string {
+	switch {
+	case r.Cached && r.PrepCached:
+		return "hit+prep"
+	case r.Cached:
+		return "hit"
+	case r.PrepCached:
+		return "prep"
+	default:
+		return "miss"
+	}
+}
+
+// dispatchWork submits a squash/bench request to the worker pool and waits
+// for its result or the request timeout.
+func (s *Server) dispatchWork(req *Request) (*Response, bool) {
+	ctx := context.Background()
+	if s.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.Timeout)
+		defer cancel()
+	}
+	done := make(chan *Response, 1) // buffered: a late worker never blocks
+	if err := s.pool.Submit(ctx, func() { done <- s.process(req) }); err != nil {
+		if err == parallel.ErrPoolClosed {
+			return errResponse("server shutting down"), false
+		}
+		return errResponse(fmt.Sprintf("request timed out in queue after %s", s.opts.Timeout)), true
+	}
+	select {
+	case resp := <-done:
+		return resp, false
+	case <-ctx.Done():
+		return errResponse(fmt.Sprintf("request timed out after %s", s.opts.Timeout)), true
+	}
+}
+
+func errResponse(msg string) *Response { return &Response{Err: msg} }
+
+// process executes one squash or bench request on a pool worker.
+func (s *Server) process(req *Request) *Response {
+	if d := s.testDelay.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+	conf := core.DefaultConfig()
+	if req.Config != nil {
+		conf = *req.Config
+	}
+	switch req.Op {
+	case OpSquash:
+		if len(req.Obj) == 0 || len(req.Profile) == 0 {
+			return errResponse("squash request needs obj and profile bytes")
+		}
+		return s.squash(req.Obj, req.Profile, conf, false)
+	case OpBench:
+		scale := req.Scale
+		if scale == 0 {
+			scale = 1.0
+		}
+		b, prepHit, err := experiments.PrepareSpec(req.Bench, scale, s.opts.PrepCacheDir)
+		if err != nil {
+			return errResponse(err.Error())
+		}
+		s.met.prepCache(prepHit)
+		var objBuf, profBuf bytes.Buffer
+		if _, err := b.SqObj.WriteTo(&objBuf); err != nil {
+			return errResponse(err.Error())
+		}
+		if _, err := b.Profile.WriteTo(&profBuf); err != nil {
+			return errResponse(err.Error())
+		}
+		resp := s.squash(objBuf.Bytes(), profBuf.Bytes(), conf, prepHit)
+		return resp
+	default:
+		return errResponse(fmt.Sprintf("unknown op %q", req.Op))
+	}
+}
+
+// squash answers from the warm result cache or runs the pipeline and fills
+// it. The cached image bytes are exactly what the fresh path serializes, so
+// hit and miss responses are byte-identical.
+func (s *Server) squash(objBytes, profBytes []byte, conf core.Config, prepHit bool) *Response {
+	key := resultKey(objBytes, profBytes, conf)
+	if e, ok := s.cache.get(key); ok {
+		s.met.squashCache(true)
+		stats, foot := e.stats, e.foot
+		return &Response{OK: true, Image: e.image, Stats: &stats, Foot: &foot,
+			Cached: true, PrepCached: prepHit}
+	}
+	s.met.squashCache(false)
+
+	obj, err := objfile.ReadObject(bytes.NewReader(objBytes))
+	if err != nil {
+		return errResponse(fmt.Sprintf("bad object: %v", err))
+	}
+	counts, err := profile.ReadCounts(bytes.NewReader(profBytes))
+	if err != nil {
+		return errResponse(fmt.Sprintf("bad profile: %v", err))
+	}
+	out, err := core.Squash(obj, counts, conf)
+	if err != nil {
+		return errResponse(err.Error())
+	}
+	var img bytes.Buffer
+	if _, err := out.Image.WriteTo(&img); err != nil {
+		return errResponse(err.Error())
+	}
+	s.cache.put(&cacheEntry{key: key, image: img.Bytes(), stats: out.Stats, foot: out.Foot})
+	stats, foot := out.Stats, out.Foot
+	return &Response{OK: true, Image: img.Bytes(), Stats: &stats, Foot: &foot,
+		PrepCached: prepHit}
+}
+
+// Shutdown stops accepting connections, drains in-flight requests, and
+// waits (bounded by ctx) for every connection handler to finish. Idle
+// connections are closed immediately; a connection mid-request writes its
+// response first. After Shutdown, Serve returns ErrServerClosed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	conns := make([]*connState, 0, len(s.conns))
+	for cs := range s.conns {
+		conns = append(conns, cs)
+	}
+	s.mu.Unlock()
+
+	for _, cs := range conns {
+		cs.mu.Lock()
+		cs.draining = true
+		if !cs.busy {
+			cs.c.Close()
+		}
+		cs.mu.Unlock()
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		// Force-close whatever is left; handlers exit on the write error.
+		s.mu.Lock()
+		for cs := range s.conns {
+			cs.c.Close()
+		}
+		s.mu.Unlock()
+		err = ctx.Err()
+	}
+	s.pool.Close()
+	s.logf("shutdown complete err=%v", err)
+	return err
+}
+
+// StatsSnapshot exposes the live counters (tests and the -stats client).
+func (s *Server) StatsSnapshot() *Snapshot { return s.met.snapshot() }

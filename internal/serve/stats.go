@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latWindow is the number of recent request latencies kept for percentile
+// reporting. A bounded ring keeps the stats endpoint O(1) in memory over a
+// daemon lifetime of millions of requests; percentiles describe the recent
+// window, which is what an operator watching a live service wants anyway.
+const latWindow = 4096
+
+// metrics aggregates the daemon's operational counters. All methods are
+// safe for concurrent use.
+type metrics struct {
+	mu       sync.Mutex
+	started  time.Time
+	requests map[string]uint64
+	errors   uint64
+	timeouts uint64
+
+	squashHits, squashMisses uint64
+	prepHits, prepMisses     uint64
+
+	inFlight int
+
+	lat     [latWindow]time.Duration
+	latLen  int // valid entries
+	latNext int // ring write position
+}
+
+func newMetrics() *metrics {
+	return &metrics{started: time.Now(), requests: map[string]uint64{}}
+}
+
+func (m *metrics) begin(op string) {
+	m.mu.Lock()
+	m.requests[op]++
+	m.inFlight++
+	m.mu.Unlock()
+}
+
+func (m *metrics) end(d time.Duration, failed, timedOut bool) {
+	m.mu.Lock()
+	m.inFlight--
+	if failed {
+		m.errors++
+	}
+	if timedOut {
+		m.timeouts++
+	}
+	m.lat[m.latNext] = d
+	m.latNext = (m.latNext + 1) % latWindow
+	if m.latLen < latWindow {
+		m.latLen++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) squashCache(hit bool) {
+	m.mu.Lock()
+	if hit {
+		m.squashHits++
+	} else {
+		m.squashMisses++
+	}
+	m.mu.Unlock()
+}
+
+func (m *metrics) prepCache(hit bool) {
+	m.mu.Lock()
+	if hit {
+		m.prepHits++
+	} else {
+		m.prepMisses++
+	}
+	m.mu.Unlock()
+}
+
+// Latency summarizes the recent-request latency distribution in
+// milliseconds.
+type Latency struct {
+	Count int     `json:"count"`
+	P50   float64 `json:"p50_ms"`
+	P90   float64 `json:"p90_ms"`
+	P99   float64 `json:"p99_ms"`
+	Max   float64 `json:"max_ms"`
+}
+
+// Snapshot is the OpStats payload.
+type Snapshot struct {
+	UptimeSec float64           `json:"uptime_sec"`
+	Requests  map[string]uint64 `json:"requests"`
+	Errors    uint64            `json:"errors"`
+	Timeouts  uint64            `json:"timeouts"`
+	InFlight  int               `json:"in_flight"`
+
+	SquashCacheHits   uint64 `json:"squash_cache_hits"`
+	SquashCacheMisses uint64 `json:"squash_cache_misses"`
+	PrepCacheHits     uint64 `json:"prep_cache_hits"`
+	PrepCacheMisses   uint64 `json:"prep_cache_misses"`
+
+	Latency Latency `json:"latency"`
+}
+
+func (m *metrics) snapshot() *Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := &Snapshot{
+		UptimeSec:         time.Since(m.started).Seconds(),
+		Requests:          map[string]uint64{},
+		Errors:            m.errors,
+		Timeouts:          m.timeouts,
+		InFlight:          m.inFlight,
+		SquashCacheHits:   m.squashHits,
+		SquashCacheMisses: m.squashMisses,
+		PrepCacheHits:     m.prepHits,
+		PrepCacheMisses:   m.prepMisses,
+	}
+	for op, n := range m.requests {
+		s.Requests[op] = n
+	}
+	if m.latLen > 0 {
+		ds := make([]time.Duration, m.latLen)
+		copy(ds, m.lat[:m.latLen])
+		sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+		pick := func(q float64) time.Duration {
+			i := int(q * float64(len(ds)-1))
+			return ds[i]
+		}
+		s.Latency = Latency{
+			Count: m.latLen,
+			P50:   ms(pick(0.50)),
+			P90:   ms(pick(0.90)),
+			P99:   ms(pick(0.99)),
+			Max:   ms(ds[len(ds)-1]),
+		}
+	}
+	return s
+}
