@@ -12,12 +12,14 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/huffman"
 	"repro/internal/objfile"
 	"repro/internal/profile"
 	"repro/internal/vm"
@@ -27,6 +29,7 @@ func main() {
 	inFile := flag.String("in", "", "input byte stream file (default: stdin)")
 	profOut := flag.String("profile", "", "write a basic-block execution profile to this file")
 	stats := flag.Bool("stats", false, "print execution statistics to stderr")
+	statsJSON := flag.String("stats-json", "", "write execution statistics as JSON to this file (\"-\" for stderr; program output stays on stdout)")
 	limit := flag.Uint64("limit", 0, "instruction limit (0 = default)")
 	noFast := flag.Bool("nofastpath", false, "force the reference decode/dispatch paths (identical simulated behaviour; used by the CI equivalence guard)")
 	flag.Parse()
@@ -90,7 +93,57 @@ func main() {
 				rt.Stats.Decompressions, rt.Stats.BitsRead, rt.Stats.CreateStubMisses, rt.Stats.MaxLiveStubs)
 		}
 	}
+	if *statsJSON != "" {
+		if err := writeStatsJSON(*statsJSON, m, rt); err != nil {
+			fail(err)
+		}
+	}
 	os.Exit(int(m.Status))
+}
+
+// runStats is the -stats-json payload: the simulated observables (status,
+// instructions, cycles, runtime stats — identical with the fast paths on or
+// off) plus host-side telemetry (vm fast-path counters, decode memo, and
+// Huffman decode-path counts), which may differ under -nofastpath.
+type runStats struct {
+	ExitStatus   int    `json:"exit_status"`
+	Instructions uint64 `json:"instructions"`
+	Cycles       uint64 `json:"cycles"`
+
+	VM        vm.Counters `json:"vm"`
+	FastSteps uint64      `json:"fast_steps"`
+
+	Runtime *core.RuntimeStats     `json:"runtime,omitempty"`
+	Memo    *core.RuntimeTelemetry `json:"memo,omitempty"`
+	Huffman *huffman.DecodeStats   `json:"huffman,omitempty"`
+}
+
+func writeStatsJSON(path string, m *vm.Machine, rt *core.Runtime) error {
+	st := runStats{
+		ExitStatus:   int(m.Status),
+		Instructions: m.Instructions,
+		Cycles:       m.Cycles,
+		VM:           m.Telem,
+		FastSteps:    m.FastSteps(),
+	}
+	if rt != nil {
+		st.Runtime = &rt.Stats
+		st.Memo = &rt.Telem
+		ds := rt.DecodeStats()
+		st.Huffman = &ds
+	}
+	w := os.Stderr
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st)
 }
 
 func loadBinary(path string) (*objfile.Image, error) {

@@ -11,10 +11,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -24,15 +27,37 @@ func main() {
 	list := flag.Bool("list", false, "list experiment names and exit")
 	workers := flag.Int("workers", 0, "worker goroutines for suite preparation and matrix cells (0 = one per CPU, 1 = serial); results are identical at any count")
 	cache := flag.String("cache", "", "directory for the content-keyed preparation cache: assembled+squeezed objects and profiles are reused across runs while programs and inputs are unchanged (delete the directory after toolchain changes)")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of suite preparation and pipeline stages here")
+	metricsOut := flag.String("metrics", "", "write accumulated pipeline metrics as JSON here (\"-\" for stderr)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run here")
+	memProfile := flag.String("memprofile", "", "write a heap profile (post-run) here")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(experiments.Names(), "\n"))
 		return
 	}
+	var rec *obs.Recorder
+	if *traceOut != "" || *metricsOut != "" {
+		rec = &obs.Recorder{Metrics: obs.NewRegistry()}
+		if *traceOut != "" {
+			rec.Trace = obs.NewTracer()
+		}
+	}
+	if *cpuProfile != "" {
+		cf, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		defer cf.Close()
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	start := time.Now()
 	fmt.Fprintf(os.Stderr, "preparing suite (scale %.2f): generate, assemble, squeeze, profile...\n", *scale)
-	suite, err := experiments.LoadCached(*scale, *workers, *cache)
+	suite, err := experiments.LoadCachedObs(*scale, *workers, *cache, rec)
 	if err != nil {
 		fail(err)
 	}
@@ -50,7 +75,52 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "report written to %s\n", *out)
 	}
+	writeTelemetry(rec, *traceOut, *metricsOut)
+	if *memProfile != "" {
+		mf, err := os.Create(*memProfile)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			fail(err)
+		}
+		mf.Close()
+	}
 	fmt.Fprintf(os.Stderr, "total time %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeTelemetry exports the run's spans (Chrome JSON plus a tree summary
+// on stderr) and the accumulated metrics. No-op with a nil recorder.
+func writeTelemetry(rec *obs.Recorder, traceOut, metricsOut string) {
+	if rec == nil {
+		return
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := rec.Trace.WriteChrome(f); err != nil {
+			fail(err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "trace written to %s\n", traceOut)
+	}
+	if metricsOut != "" {
+		w := os.Stderr
+		if metricsOut != "-" {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rec.Metrics.WriteJSON(w); err != nil {
+			fail(err)
+		}
+	}
 }
 
 func fail(err error) {

@@ -1,0 +1,153 @@
+// Command obscheck validates telemetry artifacts produced by the other
+// tools: a Chrome trace-event JSON from -trace (well-formed, carries the
+// required pipeline spans) and a metrics JSON from -metrics / /metrics.json
+// (parses as a registry snapshot, carries the required counter families).
+// CI runs it over the obs smoke artifacts; exit status is non-zero on any
+// missing span or metric.
+//
+// Usage:
+//
+//	obscheck -trace squash.trace.json
+//	obscheck -metrics squash.metrics.json
+//	obscheck -trace t.json -span squash -span region.encode -metrics m.json -metric squash_runs_total
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// traceFile mirrors the Chrome trace-event JSON object form.
+type traceFile struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+type traceEvent struct {
+	Name  string   `json:"name"`
+	Phase string   `json:"ph"`
+	Ts    *float64 `json:"ts,omitempty"`
+	Dur   *float64 `json:"dur,omitempty"`
+	PID   int      `json:"pid"`
+	TID   int      `json:"tid"`
+}
+
+// metricsFile mirrors obs.Snapshot's JSON shape loosely: named counter,
+// gauge, and histogram leaves.
+type metricsFile struct {
+	Counters []struct {
+		Name  string `json:"name"`
+		Value uint64 `json:"value"`
+	} `json:"counters"`
+	Gauges []struct {
+		Name string `json:"name"`
+	} `json:"gauges"`
+	Histograms []struct {
+		Name string `json:"name"`
+	} `json:"histograms"`
+}
+
+type listFlag []string
+
+func (l *listFlag) String() string     { return fmt.Sprint([]string(*l)) }
+func (l *listFlag) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	tracePath := flag.String("trace", "", "Chrome trace-event JSON file to validate")
+	metricsPath := flag.String("metrics", "", "metrics JSON file to validate")
+	var wantSpans, wantMetrics listFlag
+	flag.Var(&wantSpans, "span", "require a span with this name (repeatable; defaults cover the squash pipeline)")
+	flag.Var(&wantMetrics, "metric", "require a counter with this name (repeatable; defaults cover the squash pipeline)")
+	flag.Parse()
+	if *tracePath == "" && *metricsPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: obscheck [-trace f.json [-span NAME]...] [-metrics f.json [-metric NAME]...]")
+		os.Exit(2)
+	}
+
+	failed := false
+	if *tracePath != "" {
+		if len(wantSpans) == 0 {
+			wantSpans = listFlag{"squash", "cfg.decode", "region.select", "region.encode", "build.link"}
+		}
+		if err := checkTrace(*tracePath, wantSpans); err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: trace: %v\n", err)
+			failed = true
+		} else {
+			fmt.Printf("trace %s ok (%d required spans present)\n", *tracePath, len(wantSpans))
+		}
+	}
+	if *metricsPath != "" {
+		if len(wantMetrics) == 0 {
+			wantMetrics = listFlag{"squash_runs_total", "squash_regions_total",
+				"squash_input_bytes_total", "squash_output_bytes_total", "squash_stream_bits_total"}
+		}
+		if err := checkMetrics(*metricsPath, wantMetrics); err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: metrics: %v\n", err)
+			failed = true
+		} else {
+			fmt.Printf("metrics %s ok (%d required counters present)\n", *metricsPath, len(wantMetrics))
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func checkTrace(path string, want []string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		return fmt.Errorf("not valid trace JSON: %w", err)
+	}
+	spans := map[string]int{}
+	for _, ev := range tf.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			if ev.Ts == nil || *ev.Ts < 0 {
+				return fmt.Errorf("span %q has a missing or negative ts", ev.Name)
+			}
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return fmt.Errorf("span %q has a missing or negative dur", ev.Name)
+			}
+			spans[ev.Name]++
+		case "M":
+			// Metadata (process/thread names) — any shape is fine.
+		default:
+			return fmt.Errorf("unexpected event phase %q", ev.Phase)
+		}
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("trace has no complete (ph=X) events")
+	}
+	for _, name := range want {
+		if spans[name] == 0 {
+			return fmt.Errorf("required span %q absent (have %d span names)", name, len(spans))
+		}
+	}
+	return nil
+}
+
+func checkMetrics(path string, want []string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var mf metricsFile
+	if err := json.Unmarshal(data, &mf); err != nil {
+		return fmt.Errorf("not valid metrics JSON: %w", err)
+	}
+	have := map[string]uint64{}
+	for _, c := range mf.Counters {
+		have[c.Name] += c.Value
+	}
+	for _, name := range want {
+		if have[name] == 0 {
+			return fmt.Errorf("required counter %q absent or zero (have %d counters)", name, len(mf.Counters))
+		}
+	}
+	return nil
+}

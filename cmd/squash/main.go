@@ -14,9 +14,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/objfile"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/regions"
 )
@@ -37,6 +40,10 @@ func main() {
 	ctStubs := flag.Bool("compile-time-stubs", false, "materialize restore stubs statically (ablation)")
 	stubCap := flag.Int("stub-capacity", 16, "runtime restore-stub slots")
 	workers := flag.Int("workers", 0, "worker goroutines for the squash pipeline (0 = one per CPU, 1 = serial); output is byte-identical at any count")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of the pipeline stages here")
+	metricsOut := flag.String("metrics", "", "write pipeline metrics as JSON here (\"-\" for stderr)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the squash run here")
+	memProfile := flag.String("memprofile", "", "write a heap profile (post-squash) here")
 	flag.Parse()
 	if flag.NArg() != 1 || *profIn == "" {
 		fmt.Fprintln(os.Stderr, "usage: squash -profile prog.prof [flags] prog.o")
@@ -80,9 +87,40 @@ func main() {
 		conf.Regions.Strategy = regions.StrategyLoopAware
 	}
 
-	res, err := core.Squash(obj, counts, conf)
+	var rec *obs.Recorder
+	if *traceOut != "" || *metricsOut != "" {
+		rec = &obs.Recorder{Metrics: obs.NewRegistry()}
+		if *traceOut != "" {
+			rec.Trace = obs.NewTracer()
+		}
+	}
+	if *cpuProfile != "" {
+		cf, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		defer cf.Close()
+		if err := pprof.StartCPUProfile(cf); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	res, err := core.SquashObs(obj, counts, conf, rec)
 	if err != nil {
 		fail(err)
+	}
+	writeTelemetry(rec, *traceOut, *metricsOut)
+	if *memProfile != "" {
+		mf, err := os.Create(*memProfile)
+		if err != nil {
+			fail(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			fail(err)
+		}
+		mf.Close()
 	}
 
 	name := *out
@@ -126,6 +164,39 @@ func main() {
 				break
 			}
 			fmt.Printf("    %s\n", w)
+		}
+	}
+}
+
+// writeTelemetry exports the run's spans (Chrome JSON plus a tree summary
+// on stderr) and its metrics snapshot. No-op with a nil recorder.
+func writeTelemetry(rec *obs.Recorder, traceOut, metricsOut string) {
+	if rec == nil {
+		return
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := rec.Trace.WriteChrome(f); err != nil {
+			fail(err)
+		}
+		f.Close()
+		fmt.Fprint(os.Stderr, rec.Trace.Summary())
+	}
+	if metricsOut != "" {
+		w := os.Stderr
+		if metricsOut != "-" {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rec.Metrics.WriteJSON(w); err != nil {
+			fail(err)
 		}
 	}
 }

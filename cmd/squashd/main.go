@@ -22,12 +22,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/regions"
 	"repro/internal/serve"
 )
@@ -42,6 +45,8 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout (0 = none)")
 	cacheEntries := flag.Int("cache-entries", 64, "warm squash-result cache size (negative disables)")
 	prepDir := flag.String("prep-cache", "", "on-disk experiments prep cache dir for -bench requests")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus), /metrics.json, and /debug/pprof on this host:port")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of request and pipeline spans here at shutdown")
 
 	// Client requests.
 	stats := flag.Bool("stats", false, "client: print the server's stats snapshot as JSON")
@@ -76,7 +81,7 @@ func main() {
 			Timeout:      *timeout,
 			CacheEntries: *cacheEntries,
 			PrepCacheDir: *prepDir,
-		})
+		}, *metricsAddr, *traceOut)
 	case *connect != "":
 		conf := core.Config{
 			Theta:                   *theta,
@@ -107,13 +112,30 @@ func main() {
 	}
 }
 
-func runServer(addr string, opts serve.Options) {
+func runServer(addr string, opts serve.Options, metricsAddr, traceOut string) {
+	rec := &obs.Recorder{Metrics: obs.NewRegistry()}
+	if traceOut != "" {
+		rec.Trace = obs.NewTracer()
+	}
+	opts.Obs = rec
+
 	s := serve.NewServer(opts)
 	ln, err := serve.Listen(addr)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "squashd: listening on %s\n", addr)
+
+	var httpSrv *http.Server
+	if metricsAddr != "" {
+		httpSrv = &http.Server{Addr: metricsAddr, Handler: metricsMux(s)}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "squashd: metrics server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "squashd: metrics and pprof on http://%s\n", metricsAddr)
+	}
 
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- s.Serve(ln) }()
@@ -125,16 +147,63 @@ func runServer(addr string, opts serve.Options) {
 		fmt.Fprintf(os.Stderr, "squashd: %s, draining in-flight requests\n", got)
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
-		if err := s.Shutdown(ctx); err != nil {
-			fmt.Fprintf(os.Stderr, "squashd: shutdown: %v\n", err)
+		shutdownErr := s.Shutdown(ctx)
+		if httpSrv != nil {
+			httpSrv.Shutdown(ctx)
+		}
+		writeTrace(rec, traceOut)
+		if shutdownErr != nil {
+			fmt.Fprintf(os.Stderr, "squashd: shutdown: %v\n", shutdownErr)
 			os.Exit(1)
 		}
 		<-serveDone
 	case err := <-serveDone:
+		writeTrace(rec, traceOut)
 		if err != nil && err != serve.ErrServerClosed {
 			fail(err)
 		}
 	}
+}
+
+// metricsMux exposes the daemon's registry in both export formats plus the
+// standard pprof handlers (explicitly wired: the mux is private, so the
+// net/http/pprof side effects on DefaultServeMux don't apply).
+func metricsMux(s *serve.Server) *http.ServeMux {
+	reg := s.Obs().Metrics
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// writeTrace dumps the accumulated spans as Chrome trace-event JSON and
+// prints the human-readable tree to stderr. No-op without -trace.
+func writeTrace(rec *obs.Recorder, path string) {
+	if path == "" || rec.Trace == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "squashd: trace: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := rec.Trace.WriteChrome(f); err != nil {
+		fmt.Fprintf(os.Stderr, "squashd: trace: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "squashd: wrote trace to %s\n%s", path, rec.Trace.Summary())
 }
 
 type clientArgs struct {

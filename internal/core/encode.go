@@ -8,6 +8,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/lzcomp"
 	"repro/internal/objfile"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/regions"
 	"repro/internal/streamcomp"
@@ -38,6 +39,11 @@ type encoder struct {
 	preds      *regions.Preds
 	compressed map[string]bool
 	safeCallee func(string) bool
+
+	// rec/span carry the telemetry context from SquashObs; both may be
+	// nil, and every use below is nil-safe.
+	rec  *obs.Recorder
+	span *obs.Span
 
 	layouts []*regionLayout // indexed by region ID
 	rs      []rsStub        // compile-time restore stubs (ablation mode)
@@ -151,6 +157,7 @@ func (e *encoder) run(stats *Stats) (*Output, error) {
 	// Phase 1: region layouts (address-independent). Regions are mutually
 	// independent here, so the layouts fan out; each writes only its own
 	// slot, indexed by region ID, so the merged result is order-free.
+	sp := e.span.Child("layout")
 	e.layouts = make([]*regionLayout, len(e.res.Regions))
 	if err := parallel.ForEach(len(e.res.Regions), e.conf.Workers, func(i int) error {
 		r := e.res.Regions[i]
@@ -164,8 +171,10 @@ func (e *encoder) run(stats *Stats) (*Output, error) {
 	}); err != nil {
 		return nil, err
 	}
+	sp.End()
 
 	// Phase 2: build and link the output program.
+	sp = e.span.Child("build.link")
 	out, entryStubWords, rsWords, stubAreaWords, err := e.buildOutput()
 	if err != nil {
 		return nil, err
@@ -178,6 +187,7 @@ func (e *encoder) run(stats *Stats) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp.End()
 	addrOf := map[string]uint32{}
 	for _, s := range im.Symbols {
 		addrOf[s.Name] = s.Addr()
@@ -189,6 +199,7 @@ func (e *encoder) run(stats *Stats) (*Output, error) {
 	// frequencies in parallel, builds each canonical-Huffman codebook once
 	// (shared read-only by every encoder), and compresses the regions
 	// concurrently into private bit streams concatenated in region order.
+	sp = e.span.Child("seq.build")
 	seqs := make([][]isa.Inst, len(e.res.Regions))
 	if err := parallel.ForEach(len(e.res.Regions), e.conf.Workers, func(i int) error {
 		r := e.res.Regions[i]
@@ -201,6 +212,8 @@ func (e *encoder) run(stats *Stats) (*Output, error) {
 	}); err != nil {
 		return nil, err
 	}
+	sp.End()
+	sp = e.span.Child("coder.train")
 	var comp regionEncoder
 	switch e.conf.Coder {
 	case CoderStream:
@@ -210,6 +223,14 @@ func (e *encoder) run(stats *Stats) (*Output, error) {
 	default:
 		return nil, fmt.Errorf("unknown region coder %d", e.conf.Coder)
 	}
+	sp.End()
+	sp = e.span.Child("region.encode", "regions", len(seqs))
+	switch c := comp.(type) {
+	case *streamcomp.Compressor:
+		c.Span = sp
+	case *lzcomp.Compressor:
+		c.Span = sp
+	}
 	blob, offsets, err := comp.CompressAll(seqs, e.conf.Workers)
 	if err != nil {
 		return nil, err
@@ -218,9 +239,13 @@ func (e *encoder) run(stats *Stats) (*Output, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp.SetArg("blob_bytes", len(blob))
+	sp.SetArg("table_bytes", len(tables))
+	sp.End()
 
 	// Phase 4: materialize the blob in text and the offset table + code
 	// tables in data; build metadata and the footprint.
+	sp = e.span.Child("image.finalize")
 	preBlobWords := len(im.Text)
 	for i := 0; i < len(blob); i += 4 {
 		var wrd uint32
@@ -298,7 +323,32 @@ func (e *encoder) run(stats *Stats) (*Output, error) {
 	for i, lay := range e.layouts {
 		layouts[i] = lay.blockOff
 	}
+	sp.End()
+	e.publishMetrics(comp, seqs, blob, tables)
 	return &Output{Image: im, Meta: meta, Foot: foot, Stats: *stats, RegionLayouts: layouts}, nil
+}
+
+// publishMetrics records the per-stream compression breakdown — the
+// numbers behind the paper's Table 3 — into the recorder's registry.
+// The per-stream bit accounting re-walks every sequence, so the whole
+// body is gated on telemetry being enabled.
+func (e *encoder) publishMetrics(comp regionEncoder, seqs [][]isa.Inst, blob, tables []byte) {
+	if e.rec == nil || e.rec.Metrics == nil {
+		return
+	}
+	e.rec.Counter("squash_blob_bytes_total").Add(uint64(len(blob)))
+	e.rec.Counter("squash_table_bytes_total").Add(uint64(len(tables)))
+	sc, ok := comp.(*streamcomp.Compressor)
+	if !ok {
+		return
+	}
+	bits := sc.StreamBits(seqs)
+	for _, st := range sc.StreamStats() {
+		stream := obs.L("stream", st.Kind.String())
+		e.rec.Counter("squash_stream_bits_total", stream).Add(bits[st.Kind])
+		e.rec.Gauge("squash_stream_codebook_values", stream).Set(int64(st.Values))
+		e.rec.Gauge("squash_stream_table_bytes", stream).Set(int64(st.TableBytes))
+	}
 }
 
 // buildOutput assembles the rewritten program: surviving code with

@@ -106,6 +106,7 @@ func (rt *Runtime) enterInterpRegion(region int) (*interpRegion, error) {
 		return nil, fmt.Errorf("core: tag names region %d of %d", region, len(rt.imemo))
 	}
 	if ir := rt.imemo[region]; ir != nil && !rt.noFastPath {
+		rt.Telem.MemoHits++
 		return ir, nil
 	}
 	ir, err := rt.decodeInterpRegion(region)
@@ -114,6 +115,7 @@ func (rt *Runtime) enterInterpRegion(region int) (*interpRegion, error) {
 	}
 	if !rt.noFastPath {
 		rt.imemo[region] = ir
+		rt.Telem.MemoFills++
 	}
 	return ir, nil
 }

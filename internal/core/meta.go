@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/huffman"
 	"repro/internal/isa"
 	"repro/internal/lzcomp"
 	"repro/internal/streamcomp"
@@ -49,9 +50,12 @@ const (
 // one region's instructions from the blob, and switch between the
 // table-driven and reference bit-at-a-time Huffman decoders. Both coders
 // satisfy it; both guarantee the two decoders consume identical bits.
+// DecodeStats exposes the coder's decode-path telemetry (host-side only,
+// never part of the simulated state).
 type RegionCoder interface {
 	Decompress(blob []byte, bitOff int, emit func(isa.Inst) error) (int, error)
 	SetSlowDecode(v bool)
+	DecodeStats() huffman.DecodeStats
 }
 
 // Meta is the squash runtime description stored alongside the image. In

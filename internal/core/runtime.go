@@ -50,6 +50,7 @@ type Runtime struct {
 	interp interpState
 
 	Stats RuntimeStats
+	Telem RuntimeTelemetry
 
 	// Trace, when set, receives one line per runtime event (diagnostics).
 	Trace func(string)
@@ -70,18 +71,31 @@ type stubSlot struct {
 	reg   uint32 // return-address register the stub's bsr uses
 }
 
-// RuntimeStats counts runtime events for the evaluation harness.
+// RuntimeStats counts runtime events for the evaluation harness. Every
+// field is part of the simulated observable state: the fast-path
+// equivalence tests compare the whole struct, so anything counted here
+// must be identical with the fast paths on or off (host-side memo
+// behavior goes in RuntimeTelemetry instead).
 type RuntimeStats struct {
-	Decompressions   uint64 // regions decompressed into the buffer
-	BitsRead         uint64 // compressed bits consumed
-	InstsEmitted     uint64 // instructions materialized into the buffer
-	CreateStubHits   uint64 // restore-stub reuses (count bump)
-	CreateStubMisses uint64 // restore stubs created
-	RestoreReturns   uint64 // returns dispatched through restore stubs
-	MaxLiveStubs     int    // high-water mark of simultaneously live stubs
-	LiveStubs        int    // currently live
-	InterpEntries    uint64 // interpret mode: region entries
-	InterpInsts      uint64 // interpret mode: instructions interpreted
+	Decompressions   uint64 `json:"decompressions"`     // regions decompressed into the buffer
+	Evictions        uint64 `json:"evictions"`          // buffer refills that displaced a different region
+	BitsRead         uint64 `json:"bits_read"`          // compressed bits consumed
+	InstsEmitted     uint64 `json:"insts_emitted"`      // instructions materialized into the buffer
+	CreateStubHits   uint64 `json:"create_stub_hits"`   // restore-stub reuses (count bump)
+	CreateStubMisses uint64 `json:"create_stub_misses"` // restore stubs created
+	RestoreReturns   uint64 `json:"restore_returns"`    // returns dispatched through restore stubs
+	MaxLiveStubs     int    `json:"max_live_stubs"`     // high-water mark of simultaneously live stubs
+	LiveStubs        int    `json:"live_stubs"`         // currently live
+	InterpEntries    uint64 `json:"interp_entries"`     // interpret mode: region entries
+	InterpInsts      uint64 `json:"interp_insts"`       // interpret mode: instructions interpreted
+}
+
+// RuntimeTelemetry counts host-side fast-path events. These live outside
+// RuntimeStats because the memo only operates when the fast path is on,
+// while RuntimeStats must be byte-identical either way.
+type RuntimeTelemetry struct {
+	MemoHits  uint64 `json:"memo_hits"`  // region entries served from the decode memo
+	MemoFills uint64 `json:"memo_fills"` // regions decoded and recorded into the memo
 }
 
 // NewRuntime builds the runtime for a squashed image's metadata.
@@ -292,6 +306,7 @@ func (rt *Runtime) decompressAndJump(m *vm.Machine, tag uint32) error {
 	pos := 1
 	var bits int
 	if img := rt.memo[region]; img != nil && !rt.noFastPath {
+		rt.Telem.MemoHits++
 		// Replay the memoized emission. The words are offset-independent
 		// (only the dispatch word above depends on the tag), and WriteWord
 		// keeps the simulator's decode-cache invalidation exact.
@@ -354,9 +369,15 @@ func (rt *Runtime) decompressAndJump(m *vm.Machine, tag uint32) error {
 				img.words[i] = w
 			}
 			rt.memo[region] = img
+			rt.Telem.MemoFills++
 		}
 	}
 	m.ICacheFlush(base, base+uint32(pos*isa.WordSize))
+	if rt.curRegion >= 0 && rt.curRegion != region {
+		// Identical on both paths: curRegion transitions don't depend on
+		// whether the fill came from the memo or a fresh decode.
+		rt.Stats.Evictions++
+	}
 	rt.Stats.Decompressions++
 	rt.Stats.BitsRead += uint64(bits)
 	rt.Stats.InstsEmitted += uint64(pos - 1)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/isa"
 	"repro/internal/objfile"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/regions"
@@ -172,9 +173,25 @@ func checkTagBounds(k, nregions int) error {
 // must not use the AT register (R28), which the rewriter reserves for entry
 // stub linkage, following the Alpha convention that AT belongs to tools.
 func Squash(obj *objfile.Object, counts profile.Counts, conf Config) (*Output, error) {
+	return SquashObs(obj, counts, conf, nil)
+}
+
+// SquashObs is Squash with telemetry: pipeline stages record spans on
+// rec's tracer and the run's totals land in rec's metrics registry. A
+// nil rec degrades to plain Squash. The recorder deliberately lives
+// outside Config — Config travels in squashd's wire protocol and keys
+// its result cache, so attaching host-side state there would perturb
+// both. Telemetry on or off, the output image is byte-identical; the
+// equivalence tests compare digests to enforce that.
+func SquashObs(obj *objfile.Object, counts profile.Counts, conf Config, rec *obs.Recorder) (*Output, error) {
 	if conf.StubCapacity <= 0 {
 		conf.StubCapacity = 16
 	}
+	root := rec.Span("squash",
+		"theta", conf.Theta, "K", conf.Regions.K, "coder", conf.Coder, "workers", conf.Workers)
+	defer root.End()
+
+	sp := root.Child("cfg.decode")
 	p, err := cfg.Build(obj, "main")
 	if err != nil {
 		return nil, fmt.Errorf("squash: %w", err)
@@ -197,9 +214,11 @@ func Squash(obj *objfile.Object, counts profile.Counts, conf Config) (*Output, e
 	}); err != nil {
 		return nil, err
 	}
+	sp.End()
 
 	stats := Stats{InputBytes: len(obj.Text) * isa.WordSize}
 
+	sp = root.Child("region.select")
 	cold := profile.IdentifyCold(p, conf.Theta)
 	if conf.Unswitch {
 		ust, err := unswitch.Run(p, func(b *cfg.Block) bool { return cold.Cold[b.Label] })
@@ -224,6 +243,9 @@ func Squash(obj *objfile.Object, counts profile.Counts, conf Config) (*Output, e
 	stats.TotalInsts = res.TotalInsts
 	stats.RegionCount = len(res.Regions)
 	stats.Excluded = res.Excluded
+	sp.SetArg("regions", len(res.Regions))
+	sp.SetArg("cold_insts", res.ColdInsts)
+	sp.End()
 
 	compressed := map[string]bool{}
 	for l := range res.InRegion {
@@ -242,6 +264,7 @@ func Squash(obj *objfile.Object, counts profile.Counts, conf Config) (*Output, e
 		// must go through the stub machinery.
 		conf.BufferSafe = false
 	}
+	sp = root.Child("buffersafe")
 	var bs *buffersafe.Result
 	if conf.BufferSafe {
 		bs = buffersafe.AnalyzeWorkers(p, compressed, conf.Workers)
@@ -252,6 +275,7 @@ func Squash(obj *objfile.Object, counts profile.Counts, conf Config) (*Output, e
 		_, total := buffersafe.CallSiteStats(p, compressed, bs)
 		stats.CallsInRegions = total
 	}
+	sp.End()
 	safeCallee := func(label string) bool { return bs.IsSafe(owner[label]) }
 
 	// §7 diagnostic: warn when a loop's back edge crosses a region
@@ -278,10 +302,16 @@ func Squash(obj *objfile.Object, counts profile.Counts, conf Config) (*Output, e
 		preds:      preds,
 		compressed: compressed,
 		safeCallee: safeCallee,
+		rec:        rec,
+		span:       root,
 	}
 	out, err := enc.run(&stats)
 	if err != nil {
 		return nil, fmt.Errorf("squash: %w", err)
 	}
+	rec.Counter("squash_runs_total").Inc()
+	rec.Counter("squash_regions_total").Add(uint64(out.Stats.RegionCount))
+	rec.Counter("squash_input_bytes_total").Add(uint64(out.Stats.InputBytes))
+	rec.Counter("squash_output_bytes_total").Add(uint64(out.Stats.SquashedBytes))
 	return out, nil
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mediabench"
 	"repro/internal/objfile"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/squeeze"
@@ -33,6 +34,10 @@ type Bench struct {
 	SqObj        *objfile.Object
 	SqImage      *objfile.Image
 	Profile      profile.Counts
+
+	// Obs, when set, receives pipeline spans and metrics from every Squash
+	// of this bench. Squash output is byte-identical with or without it.
+	Obs *obs.Recorder
 
 	timingOnce   sync.Once
 	timingErr    error
@@ -58,6 +63,9 @@ type Suite struct {
 	// PrepCacheHits counts the benchmarks whose preparation was served from
 	// the content-keyed cache (memory or disk) instead of recomputed.
 	PrepCacheHits int
+	// Obs is the telemetry recorder the suite was loaded with (nil when
+	// loaded without one); every bench's squashes report into it.
+	Obs *obs.Recorder
 }
 
 // Load prepares the full suite at the given input scale (1.0 = full; the
@@ -81,20 +89,35 @@ func LoadWorkers(scale float64, workers int) (*Suite, error) {
 // always-on in-memory layer. Cache hits are identical to recomputation by
 // construction: both paths decode the same serialized payload.
 func LoadCached(scale float64, workers int, cacheDir string) (*Suite, error) {
+	return LoadCachedObs(scale, workers, cacheDir, nil)
+}
+
+// LoadCachedObs is LoadCached with a telemetry recorder attached: suite
+// preparation gets a span tree (one "prepare" fork per benchmark, with
+// assemble/cfg/squeeze/link/profile children on cache misses), and the
+// recorder is installed on the suite and every bench so subsequent squashes
+// report into it. A nil recorder is exactly LoadCached.
+func LoadCachedObs(scale float64, workers int, cacheDir string, rec *obs.Recorder) (*Suite, error) {
 	specs := mediabench.Specs()
 	hits := make([]bool, len(specs))
+	root := rec.Span("suite.prepare", "scale", scale, "benches", len(specs))
 	benches, err := parallel.Map(len(specs), workers, func(i int) (*Bench, error) {
-		b, hit, err := prepareCached(specs[i], scale, cacheDir)
+		sp := root.Fork("prepare", "bench", specs[i].Name)
+		b, hit, err := prepareCachedObs(specs[i], scale, cacheDir, sp)
+		sp.SetArg("cache_hit", hit)
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", specs[i].Name, err)
 		}
 		hits[i] = hit
+		b.Obs = rec
 		return b, nil
 	})
+	root.End()
 	if err != nil {
 		return nil, err
 	}
-	s := &Suite{Benches: benches, Scale: scale, Workers: workers}
+	s := &Suite{Benches: benches, Scale: scale, Workers: workers, Obs: rec}
 	for _, h := range hits {
 		if h {
 			s.PrepCacheHits++
@@ -121,9 +144,10 @@ func (s *Suite) warmBaselines() error {
 	})
 }
 
-// Squash runs the rewriter on the bench at the given configuration.
+// Squash runs the rewriter on the bench at the given configuration,
+// reporting into the bench's recorder when one is attached.
 func (b *Bench) Squash(conf core.Config) (*core.Output, error) {
-	return core.Squash(b.SqObj, b.Profile, conf)
+	return core.SquashObs(b.SqObj, b.Profile, conf, b.Obs)
 }
 
 // BaselineTiming runs the squeezed binary on the timing input (cached; safe

@@ -14,6 +14,7 @@ import (
 	"repro/internal/cfg"
 	"repro/internal/mediabench"
 	"repro/internal/objfile"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/squeeze"
 	"repro/internal/vm"
@@ -74,17 +75,24 @@ func prepKey(spec mediabench.Spec) [32]byte {
 	return k
 }
 
-// buildPayload runs the full preparation pipeline and serializes the result.
-func buildPayload(spec mediabench.Spec) (*prepPayload, error) {
+// buildPayload runs the full preparation pipeline and serializes the
+// result, with one child span per stage under sp (which may be nil).
+func buildPayload(spec mediabench.Spec, sp *obs.Span) (*prepPayload, error) {
+	st := sp.Child("assemble")
 	obj, err := asm.Assemble(spec.Generate())
+	st.End()
 	if err != nil {
 		return nil, err
 	}
+	st = sp.Child("cfg")
 	p, err := cfg.Build(obj, "main")
+	st.End()
 	if err != nil {
 		return nil, err
 	}
+	st = sp.Child("squeeze")
 	sqStats, err := squeeze.Run(p)
+	st.End()
 	if err != nil {
 		return nil, err
 	}
@@ -92,13 +100,18 @@ func buildPayload(spec mediabench.Spec) (*prepPayload, error) {
 	if err != nil {
 		return nil, err
 	}
+	st = sp.Child("link")
 	im, err := objfile.Link("main", sqObj)
+	st.End()
 	if err != nil {
 		return nil, err
 	}
+	st = sp.Child("profile")
 	m := vm.New(im, spec.ProfilingInput())
 	m.EnableProfile()
-	if err := m.Run(); err != nil {
+	err = m.Run()
+	st.End()
+	if err != nil {
 		return nil, fmt.Errorf("profiling run: %w", err)
 	}
 	var objBuf, profBuf bytes.Buffer
@@ -163,6 +176,12 @@ var prepWarnf = func(format string, args ...any) {
 // prepareCached is prepare() behind the two cache layers. It reports whether
 // the result came from a cache (memory or disk).
 func prepareCached(spec mediabench.Spec, scale float64, dir string) (*Bench, bool, error) {
+	return prepareCachedObs(spec, scale, dir, nil)
+}
+
+// prepareCachedObs is prepareCached with the caller's per-bench span; the
+// preparation stages appear as its children on a cache miss.
+func prepareCachedObs(spec mediabench.Spec, scale float64, dir string, sp *obs.Span) (*Bench, bool, error) {
 	if scale != 1.0 {
 		spec.ProfBytes = scaleSize(spec.ProfBytes, scale)
 		spec.TimeBytes = scaleSize(spec.TimeBytes, scale)
@@ -181,7 +200,7 @@ func prepareCached(spec mediabench.Spec, scale float64, dir string) (*Bench, boo
 		// Unreadable or corrupt entries fall through to a recompute, which
 		// rewrites the file.
 	}
-	p, err := buildPayload(spec)
+	p, err := buildPayload(spec, sp)
 	if err != nil {
 		return nil, false, err
 	}

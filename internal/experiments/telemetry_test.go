@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/vm"
+)
+
+// TestTelemetryOnOffByteIdentical is the end-to-end zero-cost-when-off
+// guarantee over the MediaBench suite: squashing with a full recorder
+// (tracer + registry) and with none must produce byte-identical images and
+// metadata, and the squashed programs must then run to byte-identical
+// outputs, cycle counts, instruction counts, profiles, and runtime stats.
+func TestTelemetryOnOffByteIdentical(t *testing.T) {
+	s := quickSuite(t)
+
+	variants := []struct {
+		name string
+		mod  func(*core.Config)
+	}{
+		{"default", func(*core.Config) {}},
+		{"theta1", func(c *core.Config) { c.Theta = 1.0 }},
+	}
+
+	serialize := func(out *core.Output) ([]byte, []byte) {
+		var img bytes.Buffer
+		if _, err := out.Image.WriteTo(&img); err != nil {
+			t.Fatal(err)
+		}
+		meta, err := out.Meta.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return img.Bytes(), meta
+	}
+
+	for _, b := range s.Benches {
+		for _, v := range variants {
+			conf := s.conf()
+			v.mod(&conf)
+
+			off, err := core.SquashObs(b.SqObj, b.Profile, conf, nil)
+			if err != nil {
+				t.Fatalf("%s/%s: squash without recorder: %v", b.Spec.Name, v.name, err)
+			}
+			on, err := core.SquashObs(b.SqObj, b.Profile, conf, obs.New())
+			if err != nil {
+				t.Fatalf("%s/%s: squash with recorder: %v", b.Spec.Name, v.name, err)
+			}
+
+			offImg, offMeta := serialize(off)
+			onImg, onMeta := serialize(on)
+			if !bytes.Equal(offImg, onImg) {
+				t.Fatalf("%s/%s: image differs with telemetry on", b.Spec.Name, v.name)
+			}
+			if !bytes.Equal(offMeta, onMeta) {
+				t.Fatalf("%s/%s: metadata differs with telemetry on", b.Spec.Name, v.name)
+			}
+			if off.Stats.SquashedBytes != on.Stats.SquashedBytes || off.Stats.RegionCount != on.Stats.RegionCount {
+				t.Fatalf("%s/%s: squash stats differ with telemetry on", b.Spec.Name, v.name)
+			}
+
+			run := func(out *core.Output) (*vm.Machine, *core.Runtime) {
+				rt, err := core.NewRuntime(out.Meta)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", b.Spec.Name, v.name, err)
+				}
+				m := vm.New(out.Image, b.Spec.TimingInput())
+				m.EnableProfile()
+				rt.Install(m)
+				if err := m.Run(); err != nil {
+					t.Fatalf("%s/%s: run: %v", b.Spec.Name, v.name, err)
+				}
+				return m, rt
+			}
+			mOff, rtOff := run(off)
+			mOn, rtOn := run(on)
+			if !bytes.Equal(mOff.Output, mOn.Output) {
+				t.Fatalf("%s/%s: program output differs", b.Spec.Name, v.name)
+			}
+			if mOff.Cycles != mOn.Cycles || mOff.Instructions != mOn.Instructions {
+				t.Fatalf("%s/%s: cycles %d/%d instructions %d/%d differ",
+					b.Spec.Name, v.name, mOff.Cycles, mOn.Cycles, mOff.Instructions, mOn.Instructions)
+			}
+			if len(mOff.Profile) != len(mOn.Profile) {
+				t.Fatalf("%s/%s: profile lengths differ", b.Spec.Name, v.name)
+			}
+			for i := range mOff.Profile {
+				if mOff.Profile[i] != mOn.Profile[i] {
+					t.Fatalf("%s/%s: profile differs at block %d", b.Spec.Name, v.name, i)
+				}
+			}
+			if rtOff.Stats != rtOn.Stats {
+				t.Fatalf("%s/%s: runtime stats differ: %+v vs %+v",
+					b.Spec.Name, v.name, rtOff.Stats, rtOn.Stats)
+			}
+		}
+	}
+}

@@ -122,6 +122,7 @@ func (c *Code) Decode(r *BitReader) (uint32, error) {
 		r.bitbuf <<= e.len
 		r.nbits -= uint(e.len)
 		r.pos += int(e.len)
+		c.Stats.TableHits++
 		return e.sym, nil
 	}
 	if t.maxLen > 57 || len(c.D) == 0 {
@@ -144,6 +145,7 @@ func (c *Code) Decode(r *BitReader) (uint32, error) {
 				break
 			}
 			r.skip(i)
+			c.Stats.WidePeeks++
 			return c.D[idx], nil
 		}
 	}

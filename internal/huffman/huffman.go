@@ -27,6 +27,30 @@ type Code struct {
 	enc map[uint32]codeword
 	// dec is the first-K-bits decode table (decode.go), derived on demand.
 	dec *decTable
+
+	// Stats counts which decode path resolved each codeword. Plain
+	// fields, not atomics: a Code is not safe for concurrent decoding
+	// anyway (Decode lazily builds dec), so the counters add no new
+	// constraint. Telemetry only — decoding is bit-identical regardless.
+	Stats DecodeStats
+}
+
+// DecodeStats tallies decode-path usage for one code (see Code.Stats).
+type DecodeStats struct {
+	// TableHits resolved from the first-DecodeTableBits lookup table.
+	TableHits uint64 `json:"table_hits"`
+	// WidePeeks resolved from the 57-bit peek + length scan.
+	WidePeeks uint64 `json:"wide_peeks"`
+	// TreeDecodes went through the reference DECODE() loop (slow-decode
+	// mode, irregular tables, or codewords beyond the peek window).
+	TreeDecodes uint64 `json:"tree_decodes"`
+}
+
+// AddTo accumulates s into total; used to aggregate across streams.
+func (s DecodeStats) AddTo(total *DecodeStats) {
+	total.TableHits += s.TableHits
+	total.WidePeeks += s.WidePeeks
+	total.TreeDecodes += s.TreeDecodes
 }
 
 type codeword struct {
@@ -226,6 +250,7 @@ var ErrBadCode = errors.New("huffman: invalid codeword in stream")
 // by table lookup and delegates long ones here, and the fast-path-disabled
 // runtime mode uses it exclusively.
 func (c *Code) DecodeTree(r *BitReader) (uint32, error) {
+	c.Stats.TreeDecodes++
 	if len(c.D) == 0 {
 		return 0, ErrBadCode
 	}

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/huffman"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -70,6 +71,11 @@ type Compressor struct {
 	// the fast decoder end to end. Raw 32-bit words are not codewords and
 	// read the same either way.
 	slowDecode bool
+
+	// Span, when set, is the parent under which CompressAll forks one
+	// telemetry span per region (same hook as streamcomp). Nil records
+	// nothing; the emitted bits are identical either way.
+	Span *obs.Span
 }
 
 // SetSlowDecode selects the reference Huffman decoder for all subsequent
@@ -254,10 +260,14 @@ func (c *Compressor) Compress(w *huffman.BitWriter, seq []isa.Inst) error {
 func (c *Compressor) CompressAll(seqs [][]isa.Inst, workers int) (blob []byte, offsets []uint32, err error) {
 	c.Prime() // lazy encoder init would race across goroutines
 	parts, err := parallel.Map(len(seqs), workers, func(i int) (*huffman.BitWriter, error) {
+		sp := c.Span.Fork("region.encode", "region", i, "insts", len(seqs[i]))
 		var w huffman.BitWriter
 		if err := c.Compress(&w, seqs[i]); err != nil {
+			sp.End()
 			return nil, fmt.Errorf("region %d: %w", i, err)
 		}
+		sp.SetArg("bits", w.Len())
+		sp.End()
 		return &w, nil
 	})
 	if err != nil {
@@ -352,6 +362,17 @@ func (c *Compressor) Decompress(blob []byte, bitOff int, emit func(isa.Inst) err
 			return r.BitsRead() - bitOff, fmt.Errorf("lzcomp: unknown token kind %d", kind)
 		}
 	}
+}
+
+// DecodeStats sums the decode-path counters across the four token codes.
+func (c *Compressor) DecodeStats() huffman.DecodeStats {
+	var total huffman.DecodeStats
+	for _, code := range c.codes() {
+		if code != nil {
+			code.Stats.AddTo(&total)
+		}
+	}
+	return total
 }
 
 // TableBytes reports the serialized size of the dictionary and codes — the

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// DefaultHistogramWindow is the sample-window size used by
+// Registry.Histogram. It matches the latency window squashd's -stats
+// endpoint has always reported over.
+const DefaultHistogramWindow = 4096
+
+// Histogram records float64 observations in a fixed-size ring window
+// and answers nearest-rank quantiles over that window, alongside
+// cumulative count and sum. An empty window yields 0 for every
+// quantile — never NaN — and a 1-sample window yields that sample for
+// every quantile.
+type Histogram struct {
+	name   string
+	labels []Label
+
+	mu     sync.Mutex
+	window []float64
+	next   int
+	filled int
+	count  uint64
+	sum    float64
+}
+
+func newHistogram(name string, labels []Label, window int) *Histogram {
+	if window < 1 {
+		window = 1
+	}
+	return &Histogram{name: name, labels: labels, window: make([]float64, window)}
+}
+
+// NewHistogram returns a standalone histogram (not registered anywhere)
+// with the given window size; window < 1 is clamped to 1.
+func NewHistogram(window int) *Histogram {
+	return newHistogram("", nil, window)
+}
+
+// Observe records one sample. Safe on nil.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.window[h.next] = v
+	h.next = (h.next + 1) % len(h.window)
+	if h.filled < len(h.window) {
+		h.filled++
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count reports the cumulative number of observations; 0 on nil.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum reports the cumulative sum of observations; 0 on nil.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// WindowCount reports how many samples the current window holds.
+func (h *Histogram) WindowCount() int {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.filled
+}
+
+// Quantile returns the nearest-rank q-quantile (q in [0,1]) over the
+// window: sorted[int(q*(n-1))]. Empty window returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Quantiles(q)[0]
+}
+
+// Quantiles answers several quantiles with one sort of the window. The
+// result always has len(qs) entries; an empty window yields all zeros.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if h == nil {
+		return out
+	}
+	h.mu.Lock()
+	ds := append([]float64(nil), h.window[:h.filled]...)
+	h.mu.Unlock()
+	if len(ds) == 0 {
+		return out
+	}
+	sort.Float64s(ds)
+	for i, q := range qs {
+		if q < 0 {
+			q = 0
+		}
+		if q > 1 {
+			q = 1
+		}
+		out[i] = ds[int(q*float64(len(ds)-1))]
+	}
+	return out
+}

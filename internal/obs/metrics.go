@@ -1,0 +1,359 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value dimension on an instrument. Instruments with
+// the same name but different label sets are distinct leaves.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Registry holds named instruments. Instrument lookup takes a mutex;
+// the returned Counter/Gauge pointers update lock-free, so callers
+// should fetch instruments once and hold on to them in hot paths.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+func instrumentKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range ls {
+		b.WriteByte(0xff)
+		b.WriteString(l.Key)
+		b.WriteByte(0xfe)
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+func sortedLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// Counter returns the counter with the given name and labels, creating
+// it on first use. Nil registries return a nil (no-op) counter.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := instrumentKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{name: name, labels: sortedLabels(labels)}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name and labels, creating it
+// on first use. Nil registries return a nil (no-op) gauge.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := instrumentKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{name: name, labels: sortedLabels(labels)}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name and labels,
+// creating it (with the default window) on first use. Nil registries
+// return a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := instrumentKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[key]
+	if !ok {
+		h = newHistogram(name, sortedLabels(labels), DefaultHistogramWindow)
+		r.histograms[key] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	name   string
+	labels []Label
+	v      atomic.Uint64
+}
+
+// Add increments the counter by n. Safe on nil.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. Safe on nil.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count; 0 on nil.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 level (queue depth, live entries, ...).
+type Gauge struct {
+	name   string
+	labels []Label
+	v      atomic.Int64
+}
+
+// Set replaces the gauge value. Safe on nil.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (negative to decrease). Safe on nil.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value reads the current level; 0 on nil.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Snapshot is the JSON export shape of a registry.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// CounterSnapshot is one exported counter leaf.
+type CounterSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  uint64            `json:"value"`
+}
+
+// GaugeSnapshot is one exported gauge leaf.
+type GaugeSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  int64             `json:"value"`
+}
+
+// HistogramSnapshot is one exported histogram leaf. Quantiles are
+// nearest-rank over the sample window; Count and Sum are cumulative.
+type HistogramSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Count  uint64            `json:"count"`
+	Sum    float64           `json:"sum"`
+	P50    float64           `json:"p50"`
+	P90    float64           `json:"p90"`
+	P99    float64           `json:"p99"`
+	Max    float64           `json:"max"`
+}
+
+func labelMap(ls []Label) map[string]string {
+	if len(ls) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(ls))
+	for _, l := range ls {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// Snapshot captures every instrument, sorted by name then labels, so
+// exports are deterministic for a given set of values.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   []CounterSnapshot{},
+		Gauges:     []GaugeSnapshot{},
+		Histograms: []HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.histograms))
+	for _, h := range r.histograms {
+		hists = append(hists, h)
+	}
+	r.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool {
+		return instrumentKey(counters[i].name, counters[i].labels) < instrumentKey(counters[j].name, counters[j].labels)
+	})
+	sort.Slice(gauges, func(i, j int) bool {
+		return instrumentKey(gauges[i].name, gauges[i].labels) < instrumentKey(gauges[j].name, gauges[j].labels)
+	})
+	sort.Slice(hists, func(i, j int) bool {
+		return instrumentKey(hists[i].name, hists[i].labels) < instrumentKey(hists[j].name, hists[j].labels)
+	})
+
+	for _, c := range counters {
+		s.Counters = append(s.Counters, CounterSnapshot{Name: c.name, Labels: labelMap(c.labels), Value: c.Value()})
+	}
+	for _, g := range gauges {
+		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: g.name, Labels: labelMap(g.labels), Value: g.Value()})
+	}
+	for _, h := range hists {
+		qs := h.Quantiles(0.50, 0.90, 0.99, 1.0)
+		s.Histograms = append(s.Histograms, HistogramSnapshot{
+			Name: h.name, Labels: labelMap(h.labels),
+			Count: h.Count(), Sum: h.Sum(),
+			P50: qs[0], P90: qs[1], P99: qs[2], Max: qs[3],
+		})
+	}
+	return s
+}
+
+// WriteJSON writes the registry snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format: counters and gauges as-is, histograms as summaries with
+// quantile labels plus _sum and _count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	s := r.Snapshot()
+	var b strings.Builder
+	for _, c := range s.Counters {
+		fmt.Fprintf(&b, "# TYPE %s counter\n", promName(c.Name))
+		fmt.Fprintf(&b, "%s%s %d\n", promName(c.Name), promLabels(c.Labels, "", ""), c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", promName(g.Name))
+		fmt.Fprintf(&b, "%s%s %d\n", promName(g.Name), promLabels(g.Labels, "", ""), g.Value)
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Name)
+		fmt.Fprintf(&b, "# TYPE %s summary\n", name)
+		fmt.Fprintf(&b, "%s%s %s\n", name, promLabels(h.Labels, "quantile", "0.5"), promFloat(h.P50))
+		fmt.Fprintf(&b, "%s%s %s\n", name, promLabels(h.Labels, "quantile", "0.9"), promFloat(h.P90))
+		fmt.Fprintf(&b, "%s%s %s\n", name, promLabels(h.Labels, "quantile", "0.99"), promFloat(h.P99))
+		fmt.Fprintf(&b, "%s_sum%s %s\n", name, promLabels(h.Labels, "", ""), promFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", name, promLabels(h.Labels, "", ""), h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promName maps an instrument name onto the Prometheus charset
+// [a-zA-Z0-9_:]; anything else becomes '_'.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promLabels(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	put := func(k, v string) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		// %q's escaping (\\, \", \n) matches the exposition format's.
+		fmt.Fprintf(&b, "%s=%q", promName(k), v)
+	}
+	for _, k := range keys {
+		put(k, labels[k])
+	}
+	if extraKey != "" {
+		put(extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,58 @@
+// Package obs is the unified telemetry layer: a span tracer exported as
+// Chrome trace-event JSON, and a metrics registry of named counters,
+// gauges, and windowed histograms exported as JSON or Prometheus text.
+//
+// The package has one structural rule: every method on every type is
+// safe to call on a nil receiver and does nothing there. Instrumented
+// code therefore threads a possibly-nil *Recorder (or *Span, *Counter,
+// ...) through unconditionally, with no "if enabled" branches at call
+// sites, and a disabled recorder costs a nil check per event. Telemetry
+// must never perturb simulated observables — cycles, instructions,
+// profiles, and squashed images are byte-identical with a recorder
+// attached or not, and tests enforce that invariant end to end.
+package obs
+
+// Recorder bundles a tracer and a metrics registry. Either half may be
+// nil; the accessors below degrade to no-ops accordingly.
+type Recorder struct {
+	Trace   *Tracer
+	Metrics *Registry
+}
+
+// New returns a recorder with both tracing and metrics enabled.
+func New() *Recorder {
+	return &Recorder{Trace: NewTracer(), Metrics: NewRegistry()}
+}
+
+// Span opens a root span on the recorder's tracer. Arguments are
+// alternating key/value pairs attached to the span.
+func (r *Recorder) Span(name string, args ...any) *Span {
+	if r == nil {
+		return nil
+	}
+	return r.Trace.Start(name, args...)
+}
+
+// Counter fetches (or creates) a counter from the recorder's registry.
+func (r *Recorder) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.Metrics.Counter(name, labels...)
+}
+
+// Gauge fetches (or creates) a gauge from the recorder's registry.
+func (r *Recorder) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.Metrics.Gauge(name, labels...)
+}
+
+// Histogram fetches (or creates) a histogram from the recorder's registry.
+func (r *Recorder) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.Metrics.Histogram(name, labels...)
+}

@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Every exported method must be a no-op on nil receivers: that is the
+// zero-cost-when-off contract the instrumented packages rely on.
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	sp := r.Span("root", "k", 1)
+	if sp != nil {
+		t.Fatalf("nil recorder returned non-nil span")
+	}
+	sp.SetArg("x", 2)
+	sp.Child("c").End()
+	sp.Fork("f").End()
+	sp.End()
+
+	c := r.Counter("c")
+	c.Add(3)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatalf("nil counter has value")
+	}
+	g := r.Gauge("g")
+	g.Set(5)
+	g.Add(-2)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge has value")
+	}
+	h := r.Histogram("h")
+	h.Observe(1.5)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("nil histogram recorded")
+	}
+
+	var tr *Tracer
+	if tr.Start("x") != nil {
+		t.Fatalf("nil tracer returned span")
+	}
+	if got := tr.Summary(); got != "" {
+		t.Fatalf("nil tracer summary = %q", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("nil tracer WriteChrome: %v", err)
+	}
+	var reg *Registry
+	reg.Counter("x").Inc()
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil registry WriteJSON: %v", err)
+	}
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+	// A recorder with nil halves must degrade the same way.
+	half := &Recorder{}
+	if half.Span("s") != nil || half.Counter("c") != nil {
+		t.Fatalf("recorder with nil halves returned live instruments")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(16)
+
+	// Empty window: zeros everywhere, never NaN.
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		if v := h.Quantile(q); v != 0 || math.IsNaN(v) {
+			t.Fatalf("empty Quantile(%v) = %v", q, v)
+		}
+	}
+	if h.WindowCount() != 0 || h.Count() != 0 {
+		t.Fatalf("empty histogram counts: window=%d count=%d", h.WindowCount(), h.Count())
+	}
+
+	// Single sample: every quantile is that sample.
+	h.Observe(7)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := h.Quantile(q); v != 7 {
+			t.Fatalf("1-sample Quantile(%v) = %v, want 7", q, v)
+		}
+	}
+
+	// Known set 1..10: nearest-rank sorted[int(q*(n-1))].
+	h2 := NewHistogram(32)
+	for i := 10; i >= 1; i-- {
+		h2.Observe(float64(i))
+	}
+	qs := h2.Quantiles(0.50, 0.90, 0.99, 1.0)
+	want := []float64{5, 9, 9, 10} // int(.5*9)=4 -> 5th, int(.9*9)=8 -> 9th, int(.99*9)=8, int(1*9)=9 -> 10th
+	for i := range want {
+		if qs[i] != want[i] {
+			t.Fatalf("Quantiles = %v, want %v", qs, want)
+		}
+	}
+	if h2.Count() != 10 || h2.Sum() != 55 {
+		t.Fatalf("count=%d sum=%v, want 10/55", h2.Count(), h2.Sum())
+	}
+
+	// Window wrap: only the last `window` samples answer quantiles, but
+	// cumulative count keeps growing.
+	h3 := NewHistogram(4)
+	for i := 1; i <= 100; i++ {
+		h3.Observe(float64(i))
+	}
+	if h3.WindowCount() != 4 || h3.Count() != 100 {
+		t.Fatalf("wrap: window=%d count=%d", h3.WindowCount(), h3.Count())
+	}
+	if v := h3.Quantile(0); v != 97 {
+		t.Fatalf("wrap min = %v, want 97", v)
+	}
+	if v := h3.Quantile(1); v != 100 {
+		t.Fatalf("wrap max = %v, want 100", v)
+	}
+}
+
+func TestRegistryInstrumentIdentity(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("hits", L("stream", "opcode"))
+	b := reg.Counter("hits", L("stream", "opcode"))
+	if a != b {
+		t.Fatalf("same name+labels produced distinct counters")
+	}
+	c := reg.Counter("hits", L("stream", "mem.ra"))
+	if a == c {
+		t.Fatalf("different labels shared a counter")
+	}
+	a.Add(2)
+	b.Inc()
+	if a.Value() != 3 {
+		t.Fatalf("counter = %d, want 3", a.Value())
+	}
+
+	g := reg.Gauge("depth")
+	g.Set(4)
+	g.Add(-1)
+	if g.Value() != 3 {
+		t.Fatalf("gauge = %d, want 3", g.Value())
+	}
+}
+
+func TestRegistryExports(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("squash_regions_total").Add(12)
+	reg.Counter("stream_bits_total", L("stream", "mem.ra")).Add(99)
+	reg.Gauge("pool_queue_depth").Set(2)
+	h := reg.Histogram("request_ms")
+	h.Observe(5)
+	h.Observe(15)
+
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("exported JSON does not parse: %v", err)
+	}
+	if len(snap.Counters) != 2 || len(snap.Gauges) != 1 || len(snap.Histograms) != 1 {
+		t.Fatalf("snapshot shape: %+v", snap)
+	}
+	if snap.Counters[0].Name != "squash_regions_total" || snap.Counters[0].Value != 12 {
+		t.Fatalf("counter snapshot: %+v", snap.Counters[0])
+	}
+	if snap.Counters[1].Labels["stream"] != "mem.ra" {
+		t.Fatalf("label snapshot: %+v", snap.Counters[1])
+	}
+	if hs := snap.Histograms[0]; hs.Count != 2 || hs.Sum != 20 || hs.Max != 15 {
+		t.Fatalf("histogram snapshot: %+v", hs)
+	}
+
+	buf.Reset()
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE squash_regions_total counter",
+		"squash_regions_total 12",
+		`stream_bits_total{stream="mem.ra"} 99`,
+		"# TYPE pool_queue_depth gauge",
+		"pool_queue_depth 2",
+		"# TYPE request_ms summary",
+		`request_ms{quantile="0.5"} 5`,
+		"request_ms_sum 20",
+		"request_ms_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	if got := promName("squash.stream-bits/2"); got != "squash_stream_bits_2" {
+		t.Fatalf("promName = %q", got)
+	}
+	if got := promName("9lives"); got != "_lives" {
+		t.Fatalf("promName leading digit = %q", got)
+	}
+}
+
+// chromeFile mirrors the trace-event JSON container for validation.
+type chromeFile struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Tid  int            `json:"tid"`
+		Ts   float64        `json:"ts"`
+		Dur  *float64       `json:"dur"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestTraceChromeJSON(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("squash", "theta", 0.05)
+	stage := root.Child("cfg.decode")
+	stage.End()
+	enc := root.Child("region.encode")
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f := enc.Fork("region")
+			f.SetArg("index", i)
+			f.End()
+		}(i)
+	}
+	wg.Wait()
+	enc.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var f chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+
+	spans := map[string]int{}
+	sawThreadName := false
+	for _, e := range f.TraceEvents {
+		switch e.Ph {
+		case "X":
+			spans[e.Name]++
+			if e.Dur == nil || *e.Dur < 0 || e.Ts < 0 {
+				t.Fatalf("span %q has bad ts/dur: %+v", e.Name, e)
+			}
+		case "M":
+			if e.Name == "thread_name" {
+				sawThreadName = true
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if !sawThreadName {
+		t.Fatalf("no thread_name metadata emitted")
+	}
+	if spans["squash"] != 1 || spans["cfg.decode"] != 1 || spans["region.encode"] != 1 || spans["region"] != 4 {
+		t.Fatalf("span counts: %v", spans)
+	}
+
+	sum := tr.Summary()
+	if !strings.Contains(sum, "squash") || !strings.Contains(sum, "  cfg.decode") {
+		t.Fatalf("summary tree malformed:\n%s", sum)
+	}
+	if !strings.Contains(sum, "theta=0.05") {
+		t.Fatalf("summary missing args:\n%s", sum)
+	}
+}
+
+// Forked spans that overlap must land on distinct virtual threads so
+// chrome renders them as parallel tracks; sequential roots reuse tid 0.
+func TestTraceTidAllocation(t *testing.T) {
+	tr := NewTracer()
+	a := tr.Start("a")
+	b := tr.Start("b")
+	if a.tid == b.tid {
+		t.Fatalf("overlapping roots share tid %d", a.tid)
+	}
+	a.End()
+	b.End()
+	c := tr.Start("c")
+	if c.tid != 0 {
+		t.Fatalf("sequential root got tid %d, want reused 0", c.tid)
+	}
+	c.End()
+
+	// Double End records once.
+	d := tr.Start("d")
+	d.End()
+	d.End()
+	n := 0
+	for _, e := range tr.events {
+		if e.name == "d" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("double End recorded %d events", n)
+	}
+}

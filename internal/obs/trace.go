@@ -1,0 +1,281 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer collects explicit start/end spans and exports them in the
+// Chrome trace-event format (load the file in chrome://tracing or
+// https://ui.perfetto.dev) or as an indented text tree. Spans on the
+// same virtual thread nest by containment, which matches sequential
+// Child spans; concurrent work opens a Fork span, which borrows the
+// lowest free virtual thread id so parallel stages render as parallel
+// tracks.
+type Tracer struct {
+	start time.Time
+
+	mu     sync.Mutex
+	events []spanEvent
+	nextID int
+	inUse  []bool // virtual thread ids; index 0 is the root track
+}
+
+type spanEvent struct {
+	name     string
+	id       int
+	parent   int // span id of parent, -1 for roots
+	tid      int
+	start    time.Time
+	dur      time.Duration
+	args     []spanArg
+	children int // filled during Summary
+}
+
+type spanArg struct {
+	key string
+	val any
+}
+
+// NewTracer returns an empty tracer whose clock starts now.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now()}
+}
+
+// Span is one open interval. It is created by Tracer.Start, Span.Child,
+// or Span.Fork, and records itself into the tracer when End is called.
+// All methods are nil-safe no-ops.
+type Span struct {
+	tr      *Tracer
+	name    string
+	id      int
+	parent  int
+	tid     int
+	ownsTid bool
+	begin   time.Time
+	args    []spanArg
+	ended   bool
+}
+
+// Start opens a root span on its own virtual thread. Variadic args are
+// alternating key/value pairs recorded on the span.
+func (t *Tracer) Start(name string, args ...any) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	id := t.nextID
+	t.nextID++
+	tid := t.allocTidLocked()
+	t.mu.Unlock()
+	s := &Span{tr: t, name: name, id: id, parent: -1, tid: tid, ownsTid: true, begin: time.Now()}
+	s.setArgs(args)
+	return s
+}
+
+// Child opens a sub-span on the same virtual thread as s. Use it for
+// sequential stages; chrome infers nesting from containment.
+func (s *Span) Child(name string, args ...any) *Span {
+	if s == nil || s.tr == nil {
+		return nil
+	}
+	t := s.tr
+	t.mu.Lock()
+	id := t.nextID
+	t.nextID++
+	t.mu.Unlock()
+	c := &Span{tr: t, name: name, id: id, parent: s.id, tid: s.tid, begin: time.Now()}
+	c.setArgs(args)
+	return c
+}
+
+// Fork opens a sub-span on a fresh virtual thread. Use it for work that
+// runs concurrently with its siblings (per-region encode, per-request
+// handling); each fork renders as its own track.
+func (s *Span) Fork(name string, args ...any) *Span {
+	if s == nil || s.tr == nil {
+		return nil
+	}
+	t := s.tr
+	t.mu.Lock()
+	id := t.nextID
+	t.nextID++
+	tid := t.allocTidLocked()
+	t.mu.Unlock()
+	c := &Span{tr: t, name: name, id: id, parent: s.id, tid: tid, ownsTid: true, begin: time.Now()}
+	c.setArgs(args)
+	return c
+}
+
+// SetArg attaches a key/value argument to the span.
+func (s *Span) SetArg(key string, val any) {
+	if s == nil {
+		return
+	}
+	s.args = append(s.args, spanArg{key, val})
+}
+
+func (s *Span) setArgs(kvs []any) {
+	for i := 0; i+1 < len(kvs); i += 2 {
+		key, ok := kvs[i].(string)
+		if !ok {
+			key = fmt.Sprint(kvs[i])
+		}
+		s.args = append(s.args, spanArg{key, kvs[i+1]})
+	}
+}
+
+// End closes the span and records it. Ending a span twice records it
+// once.
+func (s *Span) End() {
+	if s == nil || s.tr == nil || s.ended {
+		return
+	}
+	s.ended = true
+	dur := time.Since(s.begin)
+	t := s.tr
+	t.mu.Lock()
+	t.events = append(t.events, spanEvent{
+		name: s.name, id: s.id, parent: s.parent, tid: s.tid,
+		start: s.begin, dur: dur, args: s.args,
+	})
+	if s.ownsTid {
+		t.freeTidLocked(s.tid)
+	}
+	t.mu.Unlock()
+}
+
+func (t *Tracer) allocTidLocked() int {
+	for i, used := range t.inUse {
+		if !used {
+			t.inUse[i] = true
+			return i
+		}
+	}
+	t.inUse = append(t.inUse, true)
+	return len(t.inUse) - 1
+}
+
+func (t *Tracer) freeTidLocked(tid int) {
+	if tid >= 0 && tid < len(t.inUse) {
+		t.inUse[tid] = false
+	}
+}
+
+// chromeEvent is one entry of the trace-event format's traceEvents
+// array. Complete spans use ph "X" (ts + dur, microseconds); metadata
+// uses ph "M".
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome writes the completed spans as Chrome trace-event JSON.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`)
+		return err
+	}
+	t.mu.Lock()
+	events := append([]spanEvent(nil), t.events...)
+	t.mu.Unlock()
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].start.Before(events[j].start) })
+
+	maxTid := 0
+	for _, e := range events {
+		if e.tid > maxTid {
+			maxTid = e.tid
+		}
+	}
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	out.TraceEvents = append(out.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "obs"},
+	})
+	for tid := 0; tid <= maxTid; tid++ {
+		name := "main"
+		if tid > 0 {
+			name = fmt.Sprintf("track-%d", tid)
+		}
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	for _, e := range events {
+		ts := float64(e.start.Sub(t.start)) / float64(time.Microsecond)
+		dur := float64(e.dur) / float64(time.Microsecond)
+		ev := chromeEvent{Name: e.name, Ph: "X", Pid: 1, Tid: e.tid, Ts: ts, Dur: &dur}
+		if len(e.args) > 0 {
+			ev.Args = make(map[string]any, len(e.args))
+			for _, a := range e.args {
+				ev.Args[a.key] = a.val
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// Summary renders the completed spans as an indented tree, children
+// ordered by start time, with durations and args inline. Roots whose
+// parent span was never ended are promoted to top level.
+func (t *Tracer) Summary() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	events := append([]spanEvent(nil), t.events...)
+	t.mu.Unlock()
+
+	byID := make(map[int]int, len(events)) // span id -> index
+	for i, e := range events {
+		byID[e.id] = i
+	}
+	children := make(map[int][]int) // span id (or -1) -> child indices
+	for i, e := range events {
+		parent := e.parent
+		if _, ok := byID[parent]; !ok {
+			parent = -1
+		}
+		children[parent] = append(children[parent], i)
+	}
+	for _, kids := range children {
+		sort.SliceStable(kids, func(a, b int) bool {
+			return events[kids[a]].start.Before(events[kids[b]].start)
+		})
+	}
+
+	var b strings.Builder
+	var walk func(id, depth int)
+	walk = func(id, depth int) {
+		for _, i := range children[id] {
+			e := events[i]
+			fmt.Fprintf(&b, "%s%s  %s", strings.Repeat("  ", depth), e.name, e.dur.Round(time.Microsecond))
+			for _, a := range e.args {
+				fmt.Fprintf(&b, " %s=%v", a.key, a.val)
+			}
+			b.WriteByte('\n')
+			walk(e.id, depth+1)
+		}
+	}
+	walk(-1, 0)
+	return b.String()
+}

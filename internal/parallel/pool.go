@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // ErrPoolClosed is returned by Submit after Close.
@@ -22,13 +24,33 @@ type Pool struct {
 	done  chan struct{}
 	wg    sync.WaitGroup
 	once  sync.Once
+
+	// Instruments, fixed at construction (NewPoolObs) so workers never race
+	// a later assignment. All nil when the pool is unobserved; every obs
+	// method is a no-op on nil.
+	queueDepth  *obs.Gauge
+	busyWorkers *obs.Gauge
+	tasksDone   *obs.Counter
 }
 
 // NewPool starts a pool of the given size; size <= 0 means one worker per
 // CPU (GOMAXPROCS).
 func NewPool(size int) *Pool {
+	return NewPoolObs(size, nil)
+}
+
+// NewPoolObs starts a pool whose occupancy is published to reg: queue depth
+// (submitters blocked waiting for a worker), busy workers, a completed-task
+// counter, and the fixed worker count. reg may be nil, which is NewPool.
+func NewPoolObs(size int, reg *obs.Registry) *Pool {
 	size = Workers(size)
 	p := &Pool{tasks: make(chan func()), done: make(chan struct{})}
+	if reg != nil {
+		p.queueDepth = reg.Gauge("pool_queue_depth")
+		p.busyWorkers = reg.Gauge("pool_busy_workers")
+		p.tasksDone = reg.Counter("pool_tasks_done_total")
+		reg.Gauge("pool_workers").Set(int64(size))
+	}
 	p.wg.Add(size)
 	for i := 0; i < size; i++ {
 		go func() {
@@ -36,7 +58,10 @@ func NewPool(size int) *Pool {
 			for {
 				select {
 				case task := <-p.tasks:
+					p.busyWorkers.Add(1)
 					task()
+					p.busyWorkers.Add(-1)
+					p.tasksDone.Inc()
 				case <-p.done:
 					return
 				}
@@ -56,6 +81,8 @@ func (p *Pool) Submit(ctx context.Context, task func()) error {
 		return ErrPoolClosed
 	default:
 	}
+	p.queueDepth.Add(1)
+	defer p.queueDepth.Add(-1)
 	select {
 	case p.tasks <- task:
 		return nil

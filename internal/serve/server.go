@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/objfile"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/profile"
 )
@@ -43,11 +44,17 @@ type Options struct {
 	// Logf receives one structured line per request (and lifecycle
 	// events); nil logs to stderr.
 	Logf func(format string, args ...any)
+	// Obs supplies the telemetry recorder: per-request spans go to its
+	// tracer (when present) and operational metrics to its registry. Nil —
+	// or a recorder without a registry — gets a private metrics-only
+	// recorder so the /metrics exports always work.
+	Obs *obs.Recorder
 }
 
 // Server is the squash daemon.
 type Server struct {
 	opts  Options
+	rec   *obs.Recorder
 	pool  *parallel.Pool
 	cache *resultCache
 	met   *metrics
@@ -89,16 +96,28 @@ func NewServer(opts Options) *Server {
 		l := log.New(os.Stderr, "squashd ", log.LstdFlags|log.Lmicroseconds)
 		logf = l.Printf
 	}
+	rec := opts.Obs
+	if rec == nil {
+		rec = &obs.Recorder{}
+	}
+	if rec.Metrics == nil {
+		rec = &obs.Recorder{Trace: rec.Trace, Metrics: obs.NewRegistry()}
+	}
 	return &Server{
 		opts:      opts,
-		pool:      parallel.NewPool(opts.Workers),
+		rec:       rec,
+		pool:      parallel.NewPoolObs(opts.Workers, rec.Metrics),
 		cache:     newResultCache(opts.CacheEntries),
-		met:       newMetrics(),
+		met:       newMetrics(rec.Metrics),
 		logf:      logf,
 		listeners: map[net.Listener]struct{}{},
 		conns:     map[*connState]struct{}{},
 	}
 }
+
+// Obs exposes the server's recorder: its registry backs the HTTP metrics
+// endpoints and its tracer (when attached) holds the per-request spans.
+func (s *Server) Obs() *obs.Recorder { return s.rec }
 
 // Listen opens the daemon socket for an address spec ("unix:/path",
 // "tcp:host:port", or bare "host:port"). A stale Unix socket file from a
@@ -201,6 +220,7 @@ func (s *Server) dispatch(req *Request) *Response {
 	id := s.reqID.Add(1)
 	start := time.Now()
 	s.met.begin(req.Op)
+	sp := s.rec.Span("squashd.request", "id", id, "op", req.Op, "bench", req.Bench)
 
 	var resp *Response
 	timedOut := false
@@ -217,6 +237,9 @@ func (s *Server) dispatch(req *Request) *Response {
 
 	dur := time.Since(start)
 	s.met.end(dur, !resp.OK, timedOut)
+	sp.SetArg("cache", cacheLabel(resp))
+	sp.SetArg("ok", resp.OK)
+	sp.End()
 	s.logf("req=%d op=%s bench=%q in_bytes=%d out_bytes=%d cache=%s dur=%s ok=%v err=%q",
 		id, req.Op, req.Bench, len(req.Obj)+len(req.Profile), len(resp.Image),
 		cacheLabel(resp), dur.Round(time.Microsecond), resp.OK, resp.Err)
@@ -322,7 +345,7 @@ func (s *Server) squash(objBytes, profBytes []byte, conf core.Config, prepHit bo
 	if err != nil {
 		return errResponse(fmt.Sprintf("bad profile: %v", err))
 	}
-	out, err := core.Squash(obj, counts, conf)
+	out, err := core.SquashObs(obj, counts, conf, s.rec)
 	if err != nil {
 		return errResponse(err.Error())
 	}
@@ -331,6 +354,7 @@ func (s *Server) squash(objBytes, profBytes []byte, conf core.Config, prepHit bo
 		return errResponse(err.Error())
 	}
 	s.cache.put(&cacheEntry{key: key, image: img.Bytes(), stats: out.Stats, foot: out.Foot})
+	s.met.resEntries.Set(int64(s.cache.len()))
 	stats, foot := out.Stats, out.Foot
 	return &Response{OK: true, Image: img.Bytes(), Stats: &stats, Foot: &foot,
 		PrepCached: prepHit}

@@ -1,19 +1,21 @@
 package serve
 
 import (
-	"sort"
 	"sync"
 	"time"
-)
 
-// latWindow is the number of recent request latencies kept for percentile
-// reporting. A bounded ring keeps the stats endpoint O(1) in memory over a
-// daemon lifetime of millions of requests; percentiles describe the recent
-// window, which is what an operator watching a live service wants anyway.
-const latWindow = 4096
+	"repro/internal/obs"
+)
 
 // metrics aggregates the daemon's operational counters. All methods are
 // safe for concurrent use.
+//
+// The counters live twice on purpose: plain fields under the mutex feed
+// the OpStats wire snapshot (whose format predates the telemetry layer
+// and must stay stable), while the obs registry carries the same events
+// for the HTTP /metrics exports. Latency is registry-only: the windowed
+// obs histogram replays the old ring's nearest-rank percentiles exactly,
+// and reports zeros — never NaN — on an empty or one-sample window.
 type metrics struct {
 	mu       sync.Mutex
 	started  time.Time
@@ -26,13 +28,33 @@ type metrics struct {
 
 	inFlight int
 
-	lat     [latWindow]time.Duration
-	latLen  int // valid entries
-	latNext int // ring write position
+	reg        *obs.Registry
+	lat        *obs.Histogram // "squashd_request_ms", recent-window latency
+	inFlightG  *obs.Gauge
+	errorsC    *obs.Counter
+	timeoutsC  *obs.Counter
+	resHitC    *obs.Counter
+	resMissC   *obs.Counter
+	prepHitC   *obs.Counter
+	prepMissC  *obs.Counter
+	resEntries *obs.Gauge
 }
 
-func newMetrics() *metrics {
-	return &metrics{started: time.Now(), requests: map[string]uint64{}}
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		started:    time.Now(),
+		requests:   map[string]uint64{},
+		reg:        reg,
+		lat:        reg.Histogram("squashd_request_ms"),
+		inFlightG:  reg.Gauge("squashd_in_flight"),
+		errorsC:    reg.Counter("squashd_errors_total"),
+		timeoutsC:  reg.Counter("squashd_timeouts_total"),
+		resHitC:    reg.Counter("squashd_cache_hits_total", obs.L("cache", "result")),
+		resMissC:   reg.Counter("squashd_cache_misses_total", obs.L("cache", "result")),
+		prepHitC:   reg.Counter("squashd_cache_hits_total", obs.L("cache", "prep")),
+		prepMissC:  reg.Counter("squashd_cache_misses_total", obs.L("cache", "prep")),
+		resEntries: reg.Gauge("squashd_result_cache_entries"),
+	}
 }
 
 func (m *metrics) begin(op string) {
@@ -40,6 +62,8 @@ func (m *metrics) begin(op string) {
 	m.requests[op]++
 	m.inFlight++
 	m.mu.Unlock()
+	m.reg.Counter("squashd_requests_total", obs.L("op", op)).Inc()
+	m.inFlightG.Add(1)
 }
 
 func (m *metrics) end(d time.Duration, failed, timedOut bool) {
@@ -51,12 +75,15 @@ func (m *metrics) end(d time.Duration, failed, timedOut bool) {
 	if timedOut {
 		m.timeouts++
 	}
-	m.lat[m.latNext] = d
-	m.latNext = (m.latNext + 1) % latWindow
-	if m.latLen < latWindow {
-		m.latLen++
-	}
 	m.mu.Unlock()
+	m.inFlightG.Add(-1)
+	if failed {
+		m.errorsC.Inc()
+	}
+	if timedOut {
+		m.timeoutsC.Inc()
+	}
+	m.lat.Observe(float64(d) / float64(time.Millisecond))
 }
 
 func (m *metrics) squashCache(hit bool) {
@@ -67,6 +94,11 @@ func (m *metrics) squashCache(hit bool) {
 		m.squashMisses++
 	}
 	m.mu.Unlock()
+	if hit {
+		m.resHitC.Inc()
+	} else {
+		m.resMissC.Inc()
+	}
 }
 
 func (m *metrics) prepCache(hit bool) {
@@ -77,6 +109,11 @@ func (m *metrics) prepCache(hit bool) {
 		m.prepMisses++
 	}
 	m.mu.Unlock()
+	if hit {
+		m.prepHitC.Inc()
+	} else {
+		m.prepMissC.Inc()
+	}
 }
 
 // Latency summarizes the recent-request latency distribution in
@@ -107,7 +144,6 @@ type Snapshot struct {
 
 func (m *metrics) snapshot() *Snapshot {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	s := &Snapshot{
 		UptimeSec:         time.Since(m.started).Seconds(),
 		Requests:          map[string]uint64{},
@@ -122,22 +158,17 @@ func (m *metrics) snapshot() *Snapshot {
 	for op, n := range m.requests {
 		s.Requests[op] = n
 	}
-	if m.latLen > 0 {
-		ds := make([]time.Duration, m.latLen)
-		copy(ds, m.lat[:m.latLen])
-		sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
-		ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
-		pick := func(q float64) time.Duration {
-			i := int(q * float64(len(ds)-1))
-			return ds[i]
-		}
-		s.Latency = Latency{
-			Count: m.latLen,
-			P50:   ms(pick(0.50)),
-			P90:   ms(pick(0.90)),
-			P99:   ms(pick(0.99)),
-			Max:   ms(ds[len(ds)-1]),
-		}
+	m.mu.Unlock()
+
+	// Percentiles come from the obs histogram's window; an empty window
+	// yields an all-zero Latency, matching the pre-telemetry wire format.
+	qs := m.lat.Quantiles(0.50, 0.90, 0.99, 1.0)
+	s.Latency = Latency{
+		Count: m.lat.WindowCount(),
+		P50:   qs[0],
+		P90:   qs[1],
+		P99:   qs[2],
+		Max:   qs[3],
 	}
 	return s
 }

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestLatencyEmptyAndTinyWindows hardens the percentile summary against the
+// degenerate windows a fresh or barely-used daemon has: an empty window must
+// report all zeros (never NaN), and a single sample must be every quantile.
+func TestLatencyEmptyAndTinyWindows(t *testing.T) {
+	m := newMetrics(obs.NewRegistry())
+
+	s := m.snapshot()
+	lat := s.Latency
+	if lat.Count != 0 || lat.P50 != 0 || lat.P90 != 0 || lat.P99 != 0 || lat.Max != 0 {
+		t.Fatalf("empty window: want all-zero latency, got %+v", lat)
+	}
+	for _, v := range []float64{lat.P50, lat.P90, lat.P99, lat.Max, s.UptimeSec} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("empty window produced non-finite value: %+v", lat)
+		}
+	}
+
+	m.begin(OpPing)
+	m.end(5*time.Millisecond, false, false)
+	lat = m.snapshot().Latency
+	if lat.Count != 1 {
+		t.Fatalf("one sample: count = %d", lat.Count)
+	}
+	for _, v := range []float64{lat.P50, lat.P90, lat.P99, lat.Max} {
+		if v != 5 {
+			t.Fatalf("one sample: every quantile should be 5ms, got %+v", lat)
+		}
+	}
+
+	// A second, slower request moves the upper quantiles but not the median.
+	m.begin(OpPing)
+	m.end(15*time.Millisecond, true, true)
+	s = m.snapshot()
+	lat = s.Latency
+	if lat.Count != 2 || lat.P50 != 5 || lat.Max != 15 {
+		t.Fatalf("two samples: got %+v", lat)
+	}
+	if s.Errors != 1 || s.Timeouts != 1 {
+		t.Fatalf("error/timeout counters: got %+v", s)
+	}
+}

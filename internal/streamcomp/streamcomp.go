@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/huffman"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -54,6 +55,11 @@ type Compressor struct {
 	// one. Both consume identical bits; the switch exists so the runtime's
 	// fast-path-disabled mode can demonstrate that end to end.
 	slowDecode bool
+
+	// Span, when set, is the parent under which CompressAll forks one
+	// telemetry span per region. Nil (the default) records nothing; the
+	// emitted bits are identical either way.
+	Span *obs.Span
 }
 
 // SetSlowDecode selects the reference Huffman decoder for all subsequent
@@ -208,10 +214,14 @@ func (c *Compressor) CompressAll(seqs [][]isa.Inst, workers int) (blob []byte, o
 		code.Prime() // lazy encoder init would race across goroutines
 	}
 	parts, err := parallel.Map(len(seqs), workers, func(i int) (*huffman.BitWriter, error) {
+		sp := c.Span.Fork("region.encode", "region", i, "insts", len(seqs[i]))
 		var w huffman.BitWriter
 		if err := c.Compress(&w, seqs[i]); err != nil {
+			sp.End()
 			return nil, fmt.Errorf("region %d: %w", i, err)
 		}
+		sp.SetArg("bits", w.Len())
+		sp.End()
 		return &w, nil
 	})
 	if err != nil {

@@ -1,0 +1,70 @@
+package streamcomp
+
+import (
+	"repro/internal/huffman"
+	"repro/internal/isa"
+)
+
+// StreamStat describes one operand stream's codebook: how many distinct
+// values it codes and how many bytes its serialized table occupies in
+// the squashed image.
+type StreamStat struct {
+	Kind       isa.StreamKind
+	Values     int
+	TableBytes int
+	MaxCodeLen int
+}
+
+// StreamStats reports the per-stream codebook shape. Telemetry for the
+// paper's per-stream breakdown (Table 3); callers gate it behind an
+// enabled recorder since it serializes each table to measure it.
+func (c *Compressor) StreamStats() []StreamStat {
+	out := make([]StreamStat, isa.NumStreams)
+	for k := range c.codes {
+		blob, _ := c.codes[k].MarshalBinary()
+		out[k] = StreamStat{
+			Kind:       isa.StreamKind(k),
+			Values:     c.codes[k].NumValues(),
+			TableBytes: len(blob),
+			MaxCodeLen: c.codes[k].MaxLen(),
+		}
+	}
+	return out
+}
+
+// StreamBits re-walks the field split of every sequence (sentinels
+// included) and totals the coded bits each stream contributes. The sum
+// over streams equals the blob's bit length; the per-stream split is
+// what CompressAll's merged output obscures. Costs one extra pass, so
+// callers only invoke it when telemetry is on.
+func (c *Compressor) StreamBits(seqs [][]isa.Inst) [isa.NumStreams]uint64 {
+	var bits [isa.NumStreams]uint64
+	for _, seq := range seqs {
+		mtf := c.newMTF()
+		count := func(in isa.Inst) {
+			for _, fv := range isa.Fields(in) {
+				v := fv.Value
+				if mtf != nil {
+					v = mtf[fv.Kind].encode(v)
+				}
+				bits[fv.Kind] += uint64(c.codes[fv.Kind].CodeLen(v))
+			}
+		}
+		for _, in := range seq {
+			count(in)
+		}
+		count(sentinelInst)
+	}
+	return bits
+}
+
+// DecodeStats sums the decode-path counters across all stream codes.
+func (c *Compressor) DecodeStats() huffman.DecodeStats {
+	var total huffman.DecodeStats
+	for _, code := range c.codes {
+		if code != nil {
+			code.Stats.AddTo(&total)
+		}
+	}
+	return total
+}

@@ -223,6 +223,7 @@ func (m *Machine) Step() error {
 	c := &ic[i]
 	if c.kind == uInvalid {
 		predecode(c, isa.Decode(getWord(m.Mem, pc)))
+		m.Telem.Predecodes++
 	}
 	if m.ICache != nil || m.Profile != nil {
 		if m.ICache != nil {
@@ -239,6 +240,7 @@ func (m *Machine) Step() error {
 	ra, rb, rc := c.ra&31, c.rb&31, c.rc&31
 	switch c.kind {
 	case uSlow:
+		m.Telem.SlowDispatches++
 		nx, err := m.exec(&c.inst, pc)
 		if err != nil {
 			return err
@@ -278,6 +280,7 @@ func (m *Machine) Step() error {
 		putWord(m.Mem, addr, uint32(m.Reg[ra]))
 		if idx := int(addr-objfile.TextBase) / isa.WordSize; idx >= 0 && idx < len(m.icache) {
 			m.icache[idx].kind = uInvalid
+			m.Telem.InvalidatedWords++
 		}
 		m.Cycles += CostMem
 	case uLDB:
@@ -297,6 +300,7 @@ func (m *Machine) Step() error {
 		m.Mem[addr] = byte(m.Reg[ra])
 		if idx := int(addr&^3-objfile.TextBase) / isa.WordSize; idx >= 0 && idx < len(m.icache) {
 			m.icache[idx].kind = uInvalid
+			m.Telem.InvalidatedWords++
 		}
 		m.Cycles += CostMem
 

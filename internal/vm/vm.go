@@ -63,6 +63,10 @@ type Machine struct {
 	Instructions uint64
 	Cycles       uint64
 
+	// Telem accumulates host-side path telemetry (see telemetry.go). It
+	// never influences simulated state.
+	Telem Counters
+
 	// Profile counts executions per text word when profiling is enabled
 	// with EnableProfile. Index is (pc - TextBase) / 4.
 	Profile []uint64
@@ -160,6 +164,7 @@ func (m *Machine) InvalidateRange(lo, hi uint32) {
 	for a := lo &^ 3; a < hi; a += isa.WordSize {
 		if idx := int(a-objfile.TextBase) / isa.WordSize; idx >= 0 && idx < len(m.icache) {
 			m.icache[idx].kind = uInvalid
+			m.Telem.InvalidatedWords++
 		}
 	}
 }
@@ -187,6 +192,7 @@ func (m *Machine) WriteWord(addr uint32, v uint32) error {
 	putWord(m.Mem, addr, v)
 	if idx := int(addr-objfile.TextBase) / isa.WordSize; idx >= 0 && idx < len(m.icache) {
 		m.icache[idx].kind = uInvalid
+		m.Telem.InvalidatedWords++
 	}
 	return nil
 }
@@ -214,6 +220,7 @@ func (m *Machine) fetch(pc uint32) (isa.Inst, error) {
 	in := isa.Decode(getWord(m.Mem, pc))
 	if idx >= 0 && idx < len(m.icache) {
 		predecode(&m.icache[idx], in)
+		m.Telem.Predecodes++
 	}
 	return in, nil
 }
@@ -239,6 +246,7 @@ func (m *Machine) Run() error {
 // profile, ExecInst. It preserves the pre-fast-path semantics exactly and
 // handles every case the fast path does not.
 func (m *Machine) stepSlow(pc uint32) error {
+	m.Telem.SlowSteps++
 	in, err := m.fetch(pc)
 	if err != nil {
 		return err
@@ -316,6 +324,7 @@ func (m *Machine) exec(in *isa.Inst, pc uint32) (uint32, error) {
 			m.Mem[addr] = byte(m.Reg[in.RA])
 			if idx := int(addr&^3-objfile.TextBase) / isa.WordSize; idx >= 0 && idx < len(m.icache) {
 				m.icache[idx].kind = uInvalid
+				m.Telem.InvalidatedWords++
 			}
 			m.Cycles += CostMem
 		}

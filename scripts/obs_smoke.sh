@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — end-to-end check of the telemetry layer. For each
+# mediabench program it runs the standard pipeline (emit → assemble →
+# profile), squashes once silently and once with -trace/-metrics, and
+# requires:
+#
+#   1. the two squashed images are byte-identical (telemetry is
+#      observation-only — the zero-cost-when-off guarantee);
+#   2. the trace JSON parses as Chrome trace-event format and carries the
+#      required pipeline spans (obscheck);
+#   3. the metrics JSON parses and carries the squash_* counter families,
+#      including the per-stream breakdown (obscheck);
+#   4. em-run -stats-json emits valid execution-stats JSON for the
+#      squashed image;
+#   5. a squashd with -metrics-addr serves Prometheus text on /metrics,
+#      the JSON snapshot on /metrics.json, and the pprof index.
+#
+# Artifacts (trace, metrics, stats JSON) are left in the directory named by
+# $OBS_SMOKE_ARTIFACTS (if set) so CI can upload them.
+#
+# Usage: scripts/obs_smoke.sh [bench ...]   (default: adpcm)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benches=("$@")
+[ ${#benches[@]} -gt 0 ] || benches=(adpcm)
+
+work=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  if [ -n "$daemon_pid" ]; then
+    kill "$daemon_pid" 2>/dev/null
+    wait "$daemon_pid" 2>/dev/null
+  fi
+  rm -rf "$work"
+}
+trap cleanup EXIT
+keep="${OBS_SMOKE_ARTIFACTS:-}"
+[ -n "$keep" ] && mkdir -p "$keep"
+
+echo "building tools..."
+go build -o "$work" ./cmd/mediabench ./cmd/em-as ./cmd/em-run ./cmd/squash \
+  ./cmd/squashd ./cmd/obscheck
+
+for b in "${benches[@]}"; do
+  echo "== $b =="
+  "$work/mediabench" -only "$b" -dir "$work"
+  "$work/em-as" -o "$work/$b.o" "$work/$b.s"
+  "$work/em-as" -link -o "$work/$b.exe" "$work/$b.s"
+  "$work/em-run" -in "$work/$b.prof.in" -profile "$work/$b.prof" \
+    "$work/$b.exe" > /dev/null
+
+  # Squash silently, then again with full telemetry; images must match.
+  "$work/squash" -profile "$work/$b.prof" -theta 1.0 \
+    -o "$work/$b.plain.exe" "$work/$b.o" > /dev/null
+  "$work/squash" -profile "$work/$b.prof" -theta 1.0 \
+    -trace "$work/$b.trace.json" -metrics "$work/$b.metrics.json" \
+    -o "$work/$b.obs.exe" "$work/$b.o" > /dev/null 2> "$work/$b.summary.txt"
+  cmp "$work/$b.plain.exe" "$work/$b.obs.exe" || {
+    echo "FAIL: $b image changed when telemetry was attached" >&2; exit 1; }
+  echo "$b images identical with and without telemetry"
+
+  grep -q "squash" "$work/$b.summary.txt" || {
+    echo "FAIL: $b trace summary missing the root span" >&2; exit 1; }
+
+  # Validate the trace and metrics artifacts.
+  "$work/obscheck" -trace "$work/$b.trace.json" -metrics "$work/$b.metrics.json"
+
+  # The squashed image must run, and -stats-json must emit valid JSON
+  # covering the simulator, runtime, and Huffman decode counters.
+  "$work/em-run" -in "$work/$b.time.in" -stats-json "$work/$b.stats.json" \
+    "$work/$b.obs.exe" > /dev/null
+  python3 - "$work/$b.stats.json" <<'EOF'
+import json, sys
+st = json.load(open(sys.argv[1]))
+for key in ("exit_status", "instructions", "cycles", "vm", "fast_steps", "runtime", "huffman"):
+    assert key in st, f"missing {key}: {sorted(st)}"
+assert st["instructions"] > 0 and st["cycles"] > 0
+assert st["runtime"]["decompressions"] > 0, "squashed run should decompress"
+print("stats-json ok:", st["instructions"], "instructions,",
+      st["runtime"]["decompressions"], "decompressions")
+EOF
+
+  if [ -n "$keep" ]; then
+    cp "$work/$b.trace.json" "$work/$b.metrics.json" "$work/$b.stats.json" \
+       "$work/$b.summary.txt" "$keep/"
+  fi
+done
+
+echo "== squashd HTTP metrics =="
+b="${benches[0]}"
+sock="unix:$work/squashd.sock"
+http="127.0.0.1:${OBS_SMOKE_HTTP_PORT:-18321}"
+"$work/squashd" -listen "$sock" -serve-workers 2 -metrics-addr "$http" \
+  -trace "$work/squashd.trace.json" 2> "$work/squashd.log" &
+daemon_pid=$!
+for _ in $(seq 50); do
+  "$work/squashd" -connect "$sock" -ping > /dev/null 2>&1 && break
+  sleep 0.1
+done
+"$work/squashd" -connect "$sock" -theta 1.0 -profile "$work/$b.prof" \
+  -o "$work/$b.daemon.exe" "$work/$b.o" > /dev/null
+cmp "$work/$b.plain.exe" "$work/$b.daemon.exe" || {
+  echo "FAIL: daemon image differs from one-shot (telemetry attached server-side)" >&2; exit 1; }
+
+python3 - "$http" "$work" <<'EOF'
+import json, sys, urllib.request
+http, work = sys.argv[1], sys.argv[2]
+prom = urllib.request.urlopen(f"http://{http}/metrics", timeout=5).read().decode()
+for name in ("squashd_requests_total", "squashd_request_ms", "squash_runs_total", "pool_workers"):
+    assert name in prom, f"/metrics missing {name}"
+snap = json.load(urllib.request.urlopen(f"http://{http}/metrics.json", timeout=5))
+counters = {c["name"] for c in snap["counters"]}
+assert "squashd_requests_total" in counters, sorted(counters)
+idx = urllib.request.urlopen(f"http://{http}/debug/pprof/", timeout=5).read().decode()
+assert "goroutine" in idx, "pprof index did not render"
+open(f"{work}/squashd.metrics.txt", "w").write(prom)
+json.dump(snap, open(f"{work}/squashd.metrics.json", "w"), indent=2)
+print("squashd HTTP metrics ok:", len(snap["counters"]), "counters")
+EOF
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "FAIL: daemon exited non-zero on SIGTERM" >&2; exit 1; }
+daemon_pid=""
+"$work/obscheck" -trace "$work/squashd.trace.json" \
+  -span squashd.request -span squash -span region.encode
+
+if [ -n "$keep" ]; then
+  cp "$work/squashd.trace.json" "$work/squashd.metrics.txt" \
+     "$work/squashd.metrics.json" "$work/squashd.log" "$keep/"
+fi
+
+echo "obs smoke passed: ${benches[*]}"
