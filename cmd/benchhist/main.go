@@ -9,6 +9,14 @@
 // -count repetitions) is appended to the history file and checked against
 // its floor; a regression exits nonzero *after* recording the entry, so the
 // history also documents the failure.
+//
+// With -load it ingests a cmd/squashload JSON report instead: the gated
+// service-level metrics (req/s, p50/p99 latency, cache hit rate, errors)
+// are appended to the same history file and checked against their floors
+// and ceilings — the load-smoke CI job's gate:
+//
+//	squashload -connect "$sock" -replay stream.jsonl -rate 2 -out report.json
+//	benchhist -load report.json -history BENCH_history.json -commit "$GITHUB_SHA"
 package main
 
 import (
@@ -23,6 +31,7 @@ import (
 
 func main() {
 	in := flag.String("in", "-", "benchmark output file from `go test -bench` ('-' = stdin)")
+	loadIn := flag.String("load", "", "squashload JSON report to ingest instead of bench output")
 	history := flag.String("history", "BENCH_history.json", "history file to append to")
 	commit := flag.String("commit", os.Getenv("GITHUB_SHA"), "commit hash to record (default $GITHUB_SHA)")
 	date := flag.String("date", time.Now().UTC().Format("2006-01-02"), "date to record (UTC)")
@@ -30,6 +39,11 @@ func main() {
 	flag.Parse()
 	if *commit == "" {
 		*commit = "unknown"
+	}
+
+	if *loadIn != "" {
+		ingestLoad(*loadIn, *history, *commit, *date, *noCheck)
+		return
 	}
 
 	var r io.Reader = os.Stdin
@@ -63,6 +77,45 @@ func main() {
 	fmt.Printf("recorded %d ratios for %s in %s\n", len(entries), *commit, *history)
 	if !*noCheck {
 		if err := benchhist.Check(entries, pairs); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// ingestLoad records a squashload report's gated metrics and enforces
+// their floors/ceilings. Like the pair path, the entries are appended
+// before checking, so the history documents the failing run too.
+func ingestLoad(path, history, commit, date string, noCheck bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	gates := benchhist.DefaultLoadGates()
+	entries, err := benchhist.LoadEntries(data, gates, commit, date)
+	if err != nil {
+		fail(err)
+	}
+	if err := benchhist.Append(history, entries); err != nil {
+		fail(err)
+	}
+	for _, g := range gates {
+		for _, e := range entries {
+			if e.Benchmark != g.Name {
+				continue
+			}
+			bounds := ""
+			if g.HasMin {
+				bounds += fmt.Sprintf("  (floor %.2f)", g.Min)
+			}
+			if g.HasMax {
+				bounds += fmt.Sprintf("  (ceiling %.2f)", g.Max)
+			}
+			fmt.Printf("%-16s %10.2f %-6s%s\n", e.Benchmark, e.Value, e.Unit, bounds)
+		}
+	}
+	fmt.Printf("recorded %d load metrics for %s in %s\n", len(entries), commit, history)
+	if !noCheck {
+		if err := benchhist.CheckLoad(entries, gates); err != nil {
 			fail(err)
 		}
 	}

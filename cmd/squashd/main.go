@@ -13,8 +13,13 @@
 //
 //	squashd -connect unix:/tmp/squashd.sock -profile prog.prof prog.sq.o -o prog.sqz.exe
 //	squashd -connect unix:/tmp/squashd.sock -bench adpcm_enc
+//	squashd -connect unix:/tmp/squashd.sock -batch adpcm,gsm,prog.o:prog.prof -out-dir out/
 //	squashd -connect unix:/tmp/squashd.sock -stats
 //	squashd -connect unix:/tmp/squashd.sock -ping
+//
+// A server started with -record stream.jsonl appends each request arrival
+// to that file; cmd/squashload replays such a stream at 1x/2x/Nx the
+// recorded rate.
 package main
 
 import (
@@ -22,10 +27,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,12 +55,15 @@ func main() {
 	prepDir := flag.String("prep-cache", "", "on-disk experiments prep cache dir for -bench requests")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus), /metrics.json, and /debug/pprof on this host:port")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of request and pipeline spans here at shutdown")
+	record := flag.String("record", "", "append each request arrival (content hash / bench key, offset) to this JSONL file for cmd/squashload replay")
 
 	// Client requests.
 	stats := flag.Bool("stats", false, "client: print the server's stats snapshot as JSON")
 	ping := flag.Bool("ping", false, "client: check daemon liveness")
 	bench := flag.String("bench", "", "client: squash a named mediabench benchmark prepared server-side")
 	scale := flag.Float64("scale", 1.0, "client: input scale for -bench")
+	batch := flag.String("batch", "", "client: comma-separated batch items, each a bench name or OBJ:PROFILE file pair, sent as one frame")
+	outDir := flag.String("out-dir", ".", "client: directory for -batch images (batch-NN.sqz.exe)")
 
 	// Squash configuration, mirroring cmd/squash.
 	profIn := flag.String("profile", "", "basic-block profile from em-run -profile")
@@ -81,7 +92,7 @@ func main() {
 			Timeout:      *timeout,
 			CacheEntries: *cacheEntries,
 			PrepCacheDir: *prepDir,
-		}, *metricsAddr, *traceOut)
+		}, *metricsAddr, *traceOut, *record)
 	case *connect != "":
 		conf := core.Config{
 			Theta:                   *theta,
@@ -103,21 +114,32 @@ func main() {
 		runClient(*connect, clientArgs{
 			stats: *stats, ping: *ping,
 			bench: *bench, scale: *scale,
+			batch: *batch, outDir: *outDir,
 			profIn: *profIn, out: *out, conf: conf,
 		})
 	default:
 		fmt.Fprintln(os.Stderr, "usage: squashd -listen ADDR [server flags]")
-		fmt.Fprintln(os.Stderr, "       squashd -connect ADDR (-stats | -ping | -bench NAME | -profile prog.prof prog.o) [squash flags]")
+		fmt.Fprintln(os.Stderr, "       squashd -connect ADDR (-stats | -ping | -bench NAME | -batch ITEMS | -profile prog.prof prog.o) [squash flags]")
 		os.Exit(2)
 	}
 }
 
-func runServer(addr string, opts serve.Options, metricsAddr, traceOut string) {
+func runServer(addr string, opts serve.Options, metricsAddr, traceOut, recordPath string) {
 	rec := &obs.Recorder{Metrics: obs.NewRegistry()}
 	if traceOut != "" {
 		rec.Trace = obs.NewTracer()
 	}
 	opts.Obs = rec
+
+	if recordPath != "" {
+		f, err := os.OpenFile(recordPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		opts.Record = serve.NewStreamRecorder(f)
+		fmt.Fprintf(os.Stderr, "squashd: recording request stream to %s\n", recordPath)
+	}
 
 	s := serve.NewServer(opts)
 	ln, err := serve.Listen(addr)
@@ -207,11 +229,12 @@ func writeTrace(rec *obs.Recorder, path string) {
 }
 
 type clientArgs struct {
-	stats, ping bool
-	bench       string
-	scale       float64
-	profIn, out string
-	conf        core.Config
+	stats, ping   bool
+	bench         string
+	scale         float64
+	batch, outDir string
+	profIn, out   string
+	conf          core.Config
 }
 
 func runClient(addr string, a clientArgs) {
@@ -234,6 +257,9 @@ func runClient(addr string, a clientArgs) {
 		start := time.Now()
 		must(serve.Do(conn, &serve.Request{Op: serve.OpPing}))
 		fmt.Printf("squashd at %s is up (%s)\n", addr, time.Since(start).Round(time.Microsecond))
+
+	case a.batch != "":
+		runBatch(conn, a)
 
 	case a.bench != "":
 		resp := must(serve.Do(conn, &serve.Request{
@@ -265,6 +291,62 @@ func runClient(addr string, a clientArgs) {
 			name = flag.Arg(0) + ".sqz.exe"
 		}
 		writeImage(name, resp)
+	}
+}
+
+// runBatch sends one OpBatch frame and writes each image to
+// outDir/batch-NN.sqz.exe. Item spec: comma-separated entries, each either
+// a bench name or an OBJ:PROFILE file pair (detected by the colon). Any
+// failed item is reported and the exit status is nonzero, but sibling
+// images are still written — per-object isolation end to end.
+func runBatch(conn net.Conn, a clientArgs) {
+	var items []serve.BatchItem
+	for _, spec := range strings.Split(a.batch, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		if objPath, profPath, ok := strings.Cut(spec, ":"); ok {
+			objBytes, err := os.ReadFile(objPath)
+			if err != nil {
+				fail(err)
+			}
+			profBytes, err := os.ReadFile(profPath)
+			if err != nil {
+				fail(err)
+			}
+			items = append(items, serve.BatchItem{Obj: objBytes, Profile: profBytes, Config: &a.conf})
+		} else {
+			items = append(items, serve.BatchItem{Bench: spec, Scale: a.scale, Config: &a.conf})
+		}
+	}
+	resp := must(serve.Do(conn, &serve.Request{Op: serve.OpBatch, Items: items}))
+	if len(resp.Results) != len(items) {
+		fail(fmt.Errorf("batch returned %d results for %d items", len(resp.Results), len(items)))
+	}
+	failed := 0
+	for i, r := range resp.Results {
+		if !r.OK {
+			fmt.Fprintf(os.Stderr, "squashd: batch item %d failed: %s\n", i, r.Err)
+			failed++
+			continue
+		}
+		name := filepath.Join(a.outDir, fmt.Sprintf("batch-%02d.sqz.exe", i))
+		if err := os.WriteFile(name, r.Image, 0o644); err != nil {
+			fail(err)
+		}
+		src := "computed"
+		switch {
+		case r.Shared:
+			src = "shared in batch"
+		case r.Cached:
+			src = "warm cache"
+		}
+		fmt.Printf("%s: %d -> %d bytes (%.1f%% reduction), %s\n",
+			name, r.Stats.InputBytes, r.Stats.SquashedBytes, 100*r.Stats.Reduction(), src)
+	}
+	if failed > 0 {
+		fail(fmt.Errorf("%d of %d batch items failed", failed, len(items)))
 	}
 }
 

@@ -56,13 +56,18 @@ func DefaultPairs() []Pair {
 	}
 }
 
-// Entry is one history record: the ratio one benchmark pair achieved at one
-// commit.
+// Entry is one history record at one commit: either the ratio a fast/slow
+// benchmark pair achieved (Ratio set) or an absolute service-level metric
+// from a squashload report (Value and Unit set). Ratio is omitempty so
+// load entries don't carry a meaningless zero ratio; pair ratios are
+// always positive, so existing history files round-trip unchanged.
 type Entry struct {
 	Commit    string  `json:"commit"`
 	Date      string  `json:"date"`
 	Benchmark string  `json:"benchmark"`
-	Ratio     float64 `json:"ratio"`
+	Ratio     float64 `json:"ratio,omitempty"`
+	Value     float64 `json:"value,omitempty"`
+	Unit      string  `json:"unit,omitempty"`
 }
 
 // ParseNsPerOp extracts ns/op samples from `go test -bench` text output.

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// processBatch executes one OpBatch frame on a pool worker. Items are
+// grouped by content key first: each unique (object, profile, config) — or
+// (bench, scale, config) — runs the ordinary one-shot path exactly once,
+// and every duplicate reuses that result with Shared set. That is where
+// the amortization lives: codebook training happens once per unique
+// object, benchmark preparation once per unique (bench, scale), and both
+// the global result cache and the prep cache apply exactly as for single
+// requests, so batch responses stay byte-identical to one-shot squash.
+//
+// Unique groups fan out across goroutines bounded by the server's worker
+// option; results keep item order. Errors are per-item: a malformed object
+// produces an error result at its own index and nowhere else.
+func (s *Server) processBatch(req *Request) *Response {
+	items := req.Items
+	if len(items) == 0 {
+		return errResponse("batch request needs at least one item")
+	}
+	if len(items) > MaxBatchItems {
+		return errResponse(fmt.Sprintf("batch of %d items exceeds limit %d", len(items), MaxBatchItems))
+	}
+
+	// Group duplicate items; groups[gi] processes once for all its members.
+	type group struct {
+		first int // representative item index
+		resp  *Response
+	}
+	groupOf := make([]int, len(items))
+	index := map[string]int{}
+	var groups []*group
+	for i := range items {
+		k := items[i].dedupKey()
+		gi, ok := index[k]
+		if !ok {
+			gi = len(groups)
+			index[k] = gi
+			groups = append(groups, &group{first: i})
+		}
+		groupOf[i] = gi
+	}
+
+	// Never returns an error: each group's failure lands in its own resp.
+	parallel.ForEach(len(groups), s.opts.Workers, func(gi int) error {
+		g := groups[gi]
+		g.resp = s.processItem(&items[g.first])
+		return nil
+	})
+
+	results := make([]BatchResult, len(items))
+	shared := 0
+	for i := range items {
+		g := groups[groupOf[i]]
+		r := g.resp
+		results[i] = BatchResult{
+			OK: r.OK, Err: r.Err, Image: r.Image, Stats: r.Stats, Foot: r.Foot,
+			Cached: r.Cached, PrepCached: r.PrepCached, Shared: i != g.first,
+		}
+		if i != g.first {
+			shared++
+		}
+	}
+	s.met.batch(len(items), shared)
+	return &Response{OK: true, Results: results}
+}
+
+// processItem runs one batch item through the same code path as its
+// one-shot op, so per-object behavior (validation, caching, byte output)
+// cannot drift between batch and single-request serving.
+func (s *Server) processItem(it *BatchItem) *Response {
+	if it.Bench != "" {
+		return s.process(&Request{Op: OpBench, Bench: it.Bench, Scale: it.Scale, Config: it.Config})
+	}
+	return s.process(&Request{Op: OpSquash, Obj: it.Obj, Profile: it.Profile, Config: it.Config})
+}
+
+// dedupKey identifies items whose squash results are necessarily
+// byte-identical, for within-batch sharing. Inline items reuse the result
+// cache's content hash; named-benchmark items key on (bench, scale) plus
+// the config hash, since preparation is deterministic per spec.
+func (it *BatchItem) dedupKey() string {
+	conf := core.DefaultConfig()
+	if it.Config != nil {
+		conf = *it.Config
+	}
+	if it.Bench != "" {
+		scale := it.Scale
+		if scale == 0 {
+			scale = 1.0
+		}
+		k := resultKey(nil, nil, conf)
+		return fmt.Sprintf("b:%s:%g:%s", it.Bench, scale, hex.EncodeToString(k[:8]))
+	}
+	k := resultKey(it.Obj, it.Profile, conf)
+	return "o:" + hex.EncodeToString(k[:])
+}

@@ -39,11 +39,23 @@ const (
 	// OpBench prepares a named mediabench benchmark through the experiments
 	// prep cache, then squashes it.
 	OpBench = "bench"
+	// OpBatch carries many objects in one frame. Each item is squashed
+	// exactly as a one-shot OpSquash/OpBench request would be — responses
+	// are byte-identical per object — but fixed costs amortize across the
+	// frame: duplicate items are squashed once (codebooks trained once),
+	// named-benchmark items share preparation, and the frame codec runs
+	// once per batch instead of once per object.
+	OpBatch = "batch"
 	// OpStats reports the server's counters and latency percentiles.
 	OpStats = "stats"
 	// OpPing checks liveness.
 	OpPing = "ping"
 )
+
+// MaxBatchItems bounds one OpBatch frame's object count. The ceiling keeps
+// a single frame's response under MaxFrame for realistic image sizes and
+// bounds the per-frame fan-out inside the server.
+const MaxBatchItems = 256
 
 // Request is one client frame.
 type Request struct {
@@ -60,6 +72,41 @@ type Request struct {
 	// Config applies as for OpSquash.
 	Bench string  `json:"bench,omitempty"`
 	Scale float64 `json:"scale,omitempty"`
+
+	// OpBatch: the objects of this frame, at most MaxBatchItems.
+	Items []BatchItem `json:"items,omitempty"`
+}
+
+// BatchItem is one object inside an OpBatch frame. Either Bench names a
+// mediabench benchmark prepared server-side (Scale 0 means 1.0), or Obj and
+// Profile carry the payload inline, exactly as the corresponding one-shot
+// op would. A nil Config means core.DefaultConfig(). When both Bench and
+// Obj are set, Bench wins.
+type BatchItem struct {
+	Obj     []byte       `json:"obj,omitempty"`
+	Profile []byte       `json:"profile,omitempty"`
+	Bench   string       `json:"bench,omitempty"`
+	Scale   float64      `json:"scale,omitempty"`
+	Config  *core.Config `json:"config,omitempty"`
+}
+
+// BatchResult is the per-object outcome of an OpBatch frame, in item
+// order. Errors are isolated here: one malformed object fails only its own
+// result, never its siblings or the frame.
+type BatchResult struct {
+	OK  bool   `json:"ok"`
+	Err string `json:"err,omitempty"`
+
+	Image []byte          `json:"image,omitempty"`
+	Stats *core.Stats     `json:"stats,omitempty"`
+	Foot  *core.Footprint `json:"foot,omitempty"`
+
+	// Cached and PrepCached mirror the one-shot Response flags. Shared
+	// marks a within-batch duplicate: an earlier identical item trained
+	// the codebooks and this result reuses its bytes.
+	Cached     bool `json:"cached,omitempty"`
+	PrepCached bool `json:"prep_cached,omitempty"`
+	Shared     bool `json:"shared,omitempty"`
 }
 
 // Response is one server frame.
@@ -76,6 +123,11 @@ type Response struct {
 	// warm preparation (OpBench only).
 	Cached     bool `json:"cached,omitempty"`
 	PrepCached bool `json:"prep_cached,omitempty"`
+
+	// Results carries the OpBatch outcomes, one per request item in item
+	// order. The frame-level OK reports whether the batch executed; each
+	// item's success is its own result's OK.
+	Results []BatchResult `json:"results,omitempty"`
 
 	// Server carries the OpStats snapshot.
 	Server *Snapshot `json:"server,omitempty"`

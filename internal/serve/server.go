@@ -44,6 +44,10 @@ type Options struct {
 	// Logf receives one structured line per request (and lifecycle
 	// events); nil logs to stderr.
 	Logf func(format string, args ...any)
+	// Record, when set, appends every squash/bench/batch arrival to a
+	// JSONL stream (content hash or benchmark key plus arrival offset)
+	// that cmd/squashload can replay; nil disables recording.
+	Record *StreamRecorder
 	// Obs supplies the telemetry recorder: per-request spans go to its
 	// tracer (when present) and operational metrics to its registry. Nil —
 	// or a recorder without a registry — gets a private metrics-only
@@ -219,8 +223,9 @@ func (s *Server) handleConn(cs *connState) {
 func (s *Server) dispatch(req *Request) *Response {
 	id := s.reqID.Add(1)
 	start := time.Now()
+	s.opts.Record.Record(req)
 	s.met.begin(req.Op)
-	sp := s.rec.Span("squashd.request", "id", id, "op", req.Op, "bench", req.Bench)
+	sp := s.rec.Span("squashd.request", "id", id, "op", req.Op, "bench", req.Bench, "items", len(req.Items))
 
 	var resp *Response
 	timedOut := false
@@ -240,10 +245,19 @@ func (s *Server) dispatch(req *Request) *Response {
 	sp.SetArg("cache", cacheLabel(resp))
 	sp.SetArg("ok", resp.OK)
 	sp.End()
-	s.logf("req=%d op=%s bench=%q in_bytes=%d out_bytes=%d cache=%s dur=%s ok=%v err=%q",
-		id, req.Op, req.Bench, len(req.Obj)+len(req.Profile), len(resp.Image),
+	s.logf("req=%d op=%s bench=%q items=%d in_bytes=%d out_bytes=%d cache=%s dur=%s ok=%v err=%q",
+		id, req.Op, req.Bench, len(req.Items), len(req.Obj)+len(req.Profile), respBytes(resp),
 		cacheLabel(resp), dur.Round(time.Microsecond), resp.OK, resp.Err)
 	return resp
+}
+
+// respBytes sums the image bytes a response carries, across batch results.
+func respBytes(r *Response) int {
+	n := len(r.Image)
+	for i := range r.Results {
+		n += len(r.Results[i].Image)
+	}
+	return n
 }
 
 func cacheLabel(r *Response) string {
@@ -319,6 +333,8 @@ func (s *Server) process(req *Request) *Response {
 		}
 		resp := s.squash(objBuf.Bytes(), profBuf.Bytes(), conf, prepHit)
 		return resp
+	case OpBatch:
+		return s.processBatch(req)
 	default:
 		return errResponse(fmt.Sprintf("unknown op %q", req.Op))
 	}

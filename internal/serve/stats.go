@@ -26,6 +26,8 @@ type metrics struct {
 	squashHits, squashMisses uint64
 	prepHits, prepMisses     uint64
 
+	batchFrames, batchObjects, batchShared uint64
+
 	inFlight int
 
 	reg        *obs.Registry
@@ -38,6 +40,10 @@ type metrics struct {
 	prepHitC   *obs.Counter
 	prepMissC  *obs.Counter
 	resEntries *obs.Gauge
+
+	batchFramesC  *obs.Counter
+	batchObjectsC *obs.Counter
+	batchSharedC  *obs.Counter
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -54,6 +60,10 @@ func newMetrics(reg *obs.Registry) *metrics {
 		prepHitC:   reg.Counter("squashd_cache_hits_total", obs.L("cache", "prep")),
 		prepMissC:  reg.Counter("squashd_cache_misses_total", obs.L("cache", "prep")),
 		resEntries: reg.Gauge("squashd_result_cache_entries"),
+
+		batchFramesC:  reg.Counter("squashd_batch_frames_total"),
+		batchObjectsC: reg.Counter("squashd_batch_objects_total"),
+		batchSharedC:  reg.Counter("squashd_batch_shared_total"),
 	}
 }
 
@@ -116,6 +126,19 @@ func (m *metrics) prepCache(hit bool) {
 	}
 }
 
+// batch records one OpBatch frame: how many objects it carried and how
+// many were within-batch duplicates served from a sibling's result.
+func (m *metrics) batch(objects, shared int) {
+	m.mu.Lock()
+	m.batchFrames++
+	m.batchObjects += uint64(objects)
+	m.batchShared += uint64(shared)
+	m.mu.Unlock()
+	m.batchFramesC.Inc()
+	m.batchObjectsC.Add(uint64(objects))
+	m.batchSharedC.Add(uint64(shared))
+}
+
 // Latency summarizes the recent-request latency distribution in
 // milliseconds.
 type Latency struct {
@@ -139,6 +162,12 @@ type Snapshot struct {
 	PrepCacheHits     uint64 `json:"prep_cache_hits"`
 	PrepCacheMisses   uint64 `json:"prep_cache_misses"`
 
+	// Batch serving: frames received, objects across all frames, and
+	// objects answered from a within-batch duplicate.
+	BatchFrames  uint64 `json:"batch_frames"`
+	BatchObjects uint64 `json:"batch_objects"`
+	BatchShared  uint64 `json:"batch_shared"`
+
 	Latency Latency `json:"latency"`
 }
 
@@ -154,6 +183,9 @@ func (m *metrics) snapshot() *Snapshot {
 		SquashCacheMisses: m.squashMisses,
 		PrepCacheHits:     m.prepHits,
 		PrepCacheMisses:   m.prepMisses,
+		BatchFrames:       m.batchFrames,
+		BatchObjects:      m.batchObjects,
+		BatchShared:       m.batchShared,
 	}
 	for op, n := range m.requests {
 		s.Requests[op] = n

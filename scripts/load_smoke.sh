@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# load_smoke.sh — end-to-end proof of the throughput engine. Against a live
+# squashd started with -record it:
+#
+#   1. sends a batch frame mixing inline objects (with duplicates) and a
+#      named benchmark, and requires each batch image to be byte-identical
+#      (SHA-256) to one-shot cmd/squash on the same inputs, with the
+#      duplicate served as a within-batch share;
+#   2. seeds a realistic request mix (one-shot, bench, batch) so the
+#      -record stream captures real arrivals;
+#   3. replays the recorded stream with cmd/squashload at 2x the recorded
+#      rate and writes the JSON load report;
+#   4. gates the report through `benchhist -load`: req/s below its floor,
+#      p99 above its ceiling, a cold cache, or any failed request fails
+#      this script — and with it the load-smoke CI job.
+#
+# Usage: scripts/load_smoke.sh [bench]   (default: adpcm)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bench="${1:-adpcm}"
+
+work=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "building tools..."
+go build -o "$work" ./cmd/mediabench ./cmd/em-as ./cmd/em-run ./cmd/squash \
+  ./cmd/squashd ./cmd/squashload ./cmd/benchhist
+
+sock="unix:$work/squashd.sock"
+stream="$work/stream.jsonl"
+"$work/squashd" -listen "$sock" -serve-workers 4 -record "$stream" \
+  2> "$work/squashd.log" &
+daemon_pid=$!
+for _ in $(seq 50); do
+  "$work/squashd" -connect "$sock" -ping > /dev/null 2>&1 && break
+  sleep 0.1
+done
+"$work/squashd" -connect "$sock" -ping
+
+echo "== preparing $bench =="
+"$work/mediabench" -only "$bench" -dir "$work"
+"$work/em-as" -o "$work/$bench.o" "$work/$bench.s"
+"$work/em-as" -link -o "$work/$bench.exe" "$work/$bench.s"
+"$work/em-run" -in "$work/$bench.prof.in" -profile "$work/$bench.prof" \
+  "$work/$bench.exe" > /dev/null
+
+echo "== batch byte-identity =="
+"$work/squash" -profile "$work/$bench.prof" -o "$work/$bench.oneshot.exe" \
+  "$work/$bench.o" > /dev/null
+# Three items in one frame: the object twice (the repeat must be served as
+# a within-batch share) plus a server-prepared named benchmark.
+"$work/squashd" -connect "$sock" -out-dir "$work" \
+  -batch "$work/$bench.o:$work/$bench.prof,$work/$bench.o:$work/$bench.prof,$bench" \
+  | tee "$work/batch.out"
+h_one=$(sha256sum "$work/$bench.oneshot.exe" | cut -d' ' -f1)
+h_b0=$(sha256sum "$work/batch-00.sqz.exe" | cut -d' ' -f1)
+h_b1=$(sha256sum "$work/batch-01.sqz.exe" | cut -d' ' -f1)
+if [ "$h_one" != "$h_b0" ] || [ "$h_one" != "$h_b1" ]; then
+  echo "FAIL: batch images differ from one-shot squash ($h_one vs $h_b0 / $h_b1)" >&2
+  exit 1
+fi
+echo "batch images identical to one-shot: sha256 $h_one"
+grep -q "shared in batch" "$work/batch.out" || {
+  echo "FAIL: duplicate batch item was not served as a within-batch share" >&2
+  exit 1
+}
+
+echo "== seeding the recorded stream =="
+for _ in 1 2 3; do
+  "$work/squashd" -connect "$sock" -bench "$bench" \
+    -o "$work/$bench.seed.exe" > /dev/null
+done
+"$work/squashd" -connect "$sock" -profile "$work/$bench.prof" \
+  -o "$work/$bench.seed2.exe" "$work/$bench.o" > /dev/null
+test -s "$stream" || { echo "FAIL: -record produced no stream" >&2; exit 1; }
+echo "recorded $(wc -l < "$stream") arrivals"
+
+echo "== replaying at 2x =="
+"$work/squashload" -connect "$sock" -replay "$stream" -rate 2 -conns 4 \
+  -fallback-obj "$work/$bench.o" -fallback-profile "$work/$bench.prof" \
+  -out "$work/report.json"
+test -s "$work/report.json" || { echo "FAIL: no load report" >&2; exit 1; }
+
+echo "== gating the report =="
+"$work/benchhist" -load "$work/report.json" \
+  -history BENCH_history.json -commit "${GITHUB_SHA:-local}"
+
+if [ -n "${LOAD_SMOKE_ARTIFACTS:-}" ]; then
+  mkdir -p "$LOAD_SMOKE_ARTIFACTS"
+  cp "$stream" "$work/report.json" "$work/squashd.log" "$LOAD_SMOKE_ARTIFACTS/"
+fi
+
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "FAIL: daemon exited non-zero on SIGTERM" >&2; exit 1; }
+daemon_pid=""
+
+echo "load smoke passed: $bench"

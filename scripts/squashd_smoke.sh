@@ -54,9 +54,13 @@ for b in "${benches[@]}"; do
   fi
   echo "$b images identical: sha256 $h1"
 
-  # Repeat: must come from the warm cache and still match.
-  "$work/squashd" -connect "$sock" -profile "$work/$b.prof" \
-    -o "$work/$b.daemon2.exe" "$work/$b.o" | grep -q "warm cache" || {
+  # Repeat: must come from the warm cache and still match. Capture then
+  # grep — piping straight into `grep -q` races its early exit against the
+  # client's second output line, and under pipefail the client's SIGPIPE
+  # fails the pipeline even though the match succeeded.
+  repeat_out=$("$work/squashd" -connect "$sock" -profile "$work/$b.prof" \
+    -o "$work/$b.daemon2.exe" "$work/$b.o")
+  grep -q "warm cache" <<< "$repeat_out" || {
       echo "FAIL: $b repeat request did not hit the warm cache" >&2; exit 1; }
   cmp "$work/$b.daemon.exe" "$work/$b.daemon2.exe" || {
     echo "FAIL: $b cached image differs from first response" >&2; exit 1; }
