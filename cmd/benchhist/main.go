@@ -20,6 +20,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -32,6 +33,7 @@ import (
 func main() {
 	in := flag.String("in", "-", "benchmark output file from `go test -bench` ('-' = stdin)")
 	loadIn := flag.String("load", "", "squashload JSON report to ingest instead of bench output")
+	allocsIn := flag.String("allocs", "", "`go test -bench -benchmem` output to ingest for the alloc/op gates")
 	history := flag.String("history", "BENCH_history.json", "history file to append to")
 	commit := flag.String("commit", os.Getenv("GITHUB_SHA"), "commit hash to record (default $GITHUB_SHA)")
 	date := flag.String("date", time.Now().UTC().Format("2006-01-02"), "date to record (UTC)")
@@ -43,6 +45,10 @@ func main() {
 
 	if *loadIn != "" {
 		ingestLoad(*loadIn, *history, *commit, *date, *noCheck)
+		return
+	}
+	if *allocsIn != "" {
+		ingestAllocs(*allocsIn, *history, *commit, *date, *noCheck)
 		return
 	}
 
@@ -116,6 +122,42 @@ func ingestLoad(path, history, commit, date string, noCheck bool) {
 	fmt.Printf("recorded %d load metrics for %s in %s\n", len(entries), commit, history)
 	if !noCheck {
 		if err := benchhist.CheckLoad(entries, gates); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// ingestAllocs records the pooled/fresh allocation medians from -benchmem
+// output and enforces the pooled allocs/op ceilings and fresh/pooled floors.
+// Entries are appended before checking, so the history documents the failing
+// run too.
+func ingestAllocs(path, history, commit, date string, noCheck bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fail(err)
+	}
+	allocs, err := benchhist.ParseMetric(bytes.NewReader(data), "allocs/op")
+	if err != nil {
+		fail(err)
+	}
+	byteSamples, err := benchhist.ParseMetric(bytes.NewReader(data), "B/op")
+	if err != nil {
+		fail(err)
+	}
+	gates := benchhist.DefaultAllocGates()
+	entries, err := benchhist.AllocEntries(allocs, byteSamples, gates, commit, date)
+	if err != nil {
+		fail(err)
+	}
+	if err := benchhist.Append(history, entries); err != nil {
+		fail(err)
+	}
+	for _, e := range entries {
+		fmt.Printf("%-32s %10.1f %s\n", e.Benchmark, e.Value, e.Unit)
+	}
+	fmt.Printf("recorded %d alloc metrics for %s in %s\n", len(entries), commit, history)
+	if !noCheck {
+		if err := benchhist.CheckAllocs(allocs, gates); err != nil {
 			fail(err)
 		}
 	}

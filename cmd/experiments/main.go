@@ -11,11 +11,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
@@ -31,7 +31,11 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write accumulated pipeline metrics as JSON here (\"-\" for stderr)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run here")
 	memProfile := flag.String("memprofile", "", "write a heap profile (post-run) here")
+	noPool := flag.Bool("nopool", false, "disable buffer pooling in the squash pipeline (identical results)")
 	flag.Parse()
+	if *noPool {
+		core.SetPooling(false)
+	}
 
 	if *list {
 		fmt.Println(strings.Join(experiments.Names(), "\n"))
@@ -77,15 +81,9 @@ func main() {
 	}
 	writeTelemetry(rec, *traceOut, *metricsOut)
 	if *memProfile != "" {
-		mf, err := os.Create(*memProfile)
-		if err != nil {
+		if err := obs.WriteHeapProfile(*memProfile); err != nil {
 			fail(err)
 		}
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(mf); err != nil {
-			fail(err)
-		}
-		mf.Close()
 	}
 	fmt.Fprintf(os.Stderr, "total time %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -14,7 +14,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"runtime/pprof"
 
 	"repro/internal/core"
@@ -44,7 +43,11 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write pipeline metrics as JSON here (\"-\" for stderr)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the squash run here")
 	memProfile := flag.String("memprofile", "", "write a heap profile (post-squash) here")
+	noPool := flag.Bool("nopool", false, "disable buffer pooling in the squash pipeline (identical output; used by the CI equivalence guard)")
 	flag.Parse()
+	if *noPool {
+		core.SetPooling(false)
+	}
 	if flag.NArg() != 1 || *profIn == "" {
 		fmt.Fprintln(os.Stderr, "usage: squash -profile prog.prof [flags] prog.o")
 		os.Exit(2)
@@ -112,15 +115,9 @@ func main() {
 	}
 	writeTelemetry(rec, *traceOut, *metricsOut)
 	if *memProfile != "" {
-		mf, err := os.Create(*memProfile)
-		if err != nil {
+		if err := obs.WriteHeapProfile(*memProfile); err != nil {
 			fail(err)
 		}
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(mf); err != nil {
-			fail(err)
-		}
-		mf.Close()
 	}
 
 	name := *out

@@ -81,7 +81,12 @@ func main() {
 	ctStubs := flag.Bool("compile-time-stubs", false, "materialize restore stubs statically (ablation)")
 	stubCap := flag.Int("stub-capacity", 16, "runtime restore-stub slots")
 	workers := flag.Int("workers", 0, "worker goroutines for one squash (0 = one per CPU); output is byte-identical at any count")
+	noPool := flag.Bool("nopool", false, "disable buffer pooling in the pipeline and the daemon's request scratch (identical output)")
 	flag.Parse()
+	if *noPool {
+		core.SetPooling(false)
+		serve.SetPooling(false)
+	}
 
 	switch {
 	case *listen != "" && *connect != "":

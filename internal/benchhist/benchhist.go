@@ -84,6 +84,13 @@ type Entry struct {
 // cutting at the last dash per line, which used to merge
 // `BenchmarkFoo/size-128` at GOMAXPROCS=1 into `BenchmarkFoo/size`.
 func ParseNsPerOp(r io.Reader) (map[string][]float64, error) {
+	return ParseMetric(r, "ns/op")
+}
+
+// ParseMetric extracts samples of one benchmark metric (by its unit column:
+// "ns/op", "allocs/op", "B/op", ...) from `go test -bench` output, with the
+// same sub-benchmark and GOMAXPROCS-suffix handling as ParseNsPerOp.
+func ParseMetric(r io.Reader, unit string) (map[string][]float64, error) {
 	type sample struct {
 		name string
 		v    float64
@@ -103,12 +110,12 @@ func ParseNsPerOp(r io.Reader) (map[string][]float64, error) {
 		var val float64
 		found := false
 		for i := 2; i+1 < len(fields); i += 2 {
-			if fields[i+1] != "ns/op" {
+			if fields[i+1] != unit {
 				continue
 			}
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("benchhist: bad ns/op %q for %s", fields[i], name)
+				return nil, fmt.Errorf("benchhist: bad %s %q for %s", unit, fields[i], name)
 			}
 			val = v
 			found = true

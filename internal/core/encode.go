@@ -200,10 +200,15 @@ func (e *encoder) run(stats *Stats) (*Output, error) {
 	// (shared read-only by every encoder), and compresses the regions
 	// concurrently into private bit streams concatenated in region order.
 	sp = e.span.Child("seq.build")
-	seqs := make([][]isa.Inst, len(e.res.Regions))
+	// Region sequence lengths are exact functions of the fixed layouts, so
+	// the sequences build into disjoint subslices of one pooled arena
+	// (scratch.go); the parallel appends below never reallocate.
+	scratch := getEncodeScratch()
+	defer putEncodeScratch(scratch)
+	seqs := scratch.partition(scratch.seqCounts(e))
 	if err := parallel.ForEach(len(e.res.Regions), e.conf.Workers, func(i int) error {
 		r := e.res.Regions[i]
-		seq, err := e.buildSeq(r, addrOf)
+		seq, err := e.buildSeq(r, addrOf, seqs[r.ID])
 		if err != nil {
 			return err
 		}
@@ -544,8 +549,10 @@ func sortRS(rs []rsStub) {
 // displacement fields resolved against the fixed buffer layout and the
 // linked image's symbol addresses, calls rewritten per their
 // classification (intra-region, buffer-safe, expanded, or routed through a
-// compile-time restore stub).
-func (e *encoder) buildSeq(r *regions.Region, addrOf map[string]uint32) ([]isa.Inst, error) {
+// compile-time restore stub). The sequence appends into dst, which the
+// caller sizes to the exact length implied by the layout (see scratch.go);
+// an undersized dst still produces a correct sequence, it just reallocates.
+func (e *encoder) buildSeq(r *regions.Region, addrOf map[string]uint32, dst []isa.Inst) ([]isa.Inst, error) {
 	lay := e.layouts[r.ID]
 	bufWordBase := int(addrOf[symRtBuf]) / isa.WordSize
 	wordAddr := func(label string) (int, error) {
@@ -570,7 +577,7 @@ func (e *encoder) buildSeq(r *regions.Region, addrOf map[string]uint32) ([]isa.I
 		return "", fmt.Errorf("no compile-time restore stub for region %d resume %d", region, resume)
 	}
 
-	var seq []isa.Inst
+	seq := dst[:0]
 	var insIdx int
 	for bi, b := range r.Blocks {
 		if lay.order[bi] != b.Label {

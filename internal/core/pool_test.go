@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/objfile"
+	"repro/internal/testprog"
+	"repro/internal/vm"
+)
+
+// TestSquashPoolingOnOffByteIdentical is the pipeline-level pooling
+// invariant: with every pool enabled (run repeatedly so warm, recycled
+// buffers are actually exercised) and with pools disabled, the squashed
+// image and metadata are byte-identical — across coders, MTF, interpreted
+// regions, and worker counts.
+func TestSquashPoolingOnOffByteIdentical(t *testing.T) {
+	defer SetPooling(true)
+	src := testprog.Random(23)
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	im, err := objfile.Link("main", obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := vm.New(im, []byte("pooling pooling"))
+	pm.EnableProfile()
+	if err := pm.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	confs := map[string]Config{"default": DefaultConfig()}
+	lz := DefaultConfig()
+	lz.Coder = CoderLZ
+	confs["lz"] = lz
+	mtf := DefaultConfig()
+	mtf.MTF = true
+	mtf.Theta = 0.01
+	confs["mtf"] = mtf
+	interp := DefaultConfig()
+	interp.Interpret = true
+	confs["interp"] = interp
+
+	for name, conf := range confs {
+		SetPooling(false)
+		conf.Workers = 1
+		want := obsSquashDigest(t, obj, pm.Profile, conf, nil)
+
+		SetPooling(true)
+		for _, workers := range []int{1, 4} {
+			conf.Workers = workers
+			for cycle := 0; cycle < 3; cycle++ { // cycle 0 cold pools, later ones warm
+				if got := obsSquashDigest(t, obj, pm.Profile, conf, nil); got != want {
+					t.Fatalf("%s: workers=%d cycle=%d: pooled squash diverged from pools-off squash",
+						name, workers, cycle)
+				}
+			}
+		}
+	}
+}
+
+// TestEncodeScratchPartition checks the arena slicing contract directly:
+// subslices are empty, have the exact requested capacities, are disjoint,
+// and recycle without growth.
+func TestEncodeScratchPartition(t *testing.T) {
+	sc := new(encodeScratch)
+	counts := []int{3, 0, 5, 1}
+	seqs := sc.partition(counts)
+	if len(seqs) != len(counts) {
+		t.Fatalf("partition returned %d seqs, want %d", len(seqs), len(counts))
+	}
+	for i, s := range seqs {
+		if len(s) != 0 || cap(s) != counts[i] {
+			t.Fatalf("seq %d: len=%d cap=%d, want len=0 cap=%d", i, len(s), cap(s), counts[i])
+		}
+	}
+	// Fill every subslice to capacity and check disjointness via values.
+	for i := range seqs {
+		for k := 0; k < counts[i]; k++ {
+			seqs[i] = append(seqs[i], vmInstMarker(i))
+		}
+	}
+	for i, s := range seqs {
+		for k := range s {
+			if s[k] != vmInstMarker(i) {
+				t.Fatalf("seq %d entry %d overwritten by another region's append", i, k)
+			}
+		}
+	}
+	arenaCap := cap(sc.arena)
+	seqs2 := sc.partition(counts)
+	if cap(sc.arena) != arenaCap {
+		t.Fatalf("repartition with equal counts grew the arena %d -> %d", arenaCap, cap(sc.arena))
+	}
+	if len(seqs2) != len(counts) {
+		t.Fatalf("repartition returned %d seqs", len(seqs2))
+	}
+}
+
+// vmInstMarker builds a distinguishable instruction per region index.
+func vmInstMarker(i int) (in isa.Inst) {
+	in.Op = uint32(i + 1)
+	return in
+}

@@ -1,0 +1,40 @@
+package huffman
+
+import "testing"
+
+// BenchmarkBitIOAlloc is the paired allocation benchmark for the bit I/O
+// layer: one op encodes a ~2 Kbit stream and decodes it back. "pooled" runs
+// the Get/Put cycle (steady-state zero allocations once the pool is warm);
+// "fresh" allocates a new writer and reader per op, the pre-pool behaviour.
+// CI gates the pooled allocs/op ceiling and the fresh/pooled reduction via
+// benchhist's alloc gates.
+func BenchmarkBitIOAlloc(b *testing.B) {
+	c, blob, n := benchStream()
+	_ = blob
+	run := func(b *testing.B, pooled bool) {
+		b.Helper()
+		SetPooling(pooled)
+		defer SetPooling(true)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := GetWriter(64)
+			for s := 0; s < 256; s++ {
+				if err := c.Encode(w, uint32(s%24)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			r := GetReader(w.buf) // whole bytes only; no Bytes() leak
+			for s := 0; s < 200; s++ {
+				if _, err := c.Decode(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			PutReader(r)
+			PutWriter(w)
+		}
+		_ = n
+	}
+	b.Run("pooled", func(b *testing.B) { run(b, true) })
+	b.Run("fresh", func(b *testing.B) { run(b, false) })
+}

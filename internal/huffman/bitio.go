@@ -9,11 +9,46 @@ package huffman
 import "encoding/binary"
 
 // BitWriter accumulates a most-significant-bit-first bit stream.
+//
+// Ownership: Bytes hands the caller a slice aliasing the internal buffer.
+// From that point the writer no longer owns the storage; Reset detaches from
+// it (the next write grows a fresh buffer), so a recycled writer can never
+// mutate bytes a previous user still holds. The pooled Get/Put cycle in
+// pool.go relies on exactly this contract.
 type BitWriter struct {
 	buf  []byte
 	bits uint8 // valid bits in cur
 	cur  byte
 	n    int // total bits written
+	// leaked records that Bytes exposed buf to a caller; Reset must then
+	// abandon the storage instead of truncating it for reuse.
+	leaked bool
+}
+
+// Reset clears the writer for reuse. Capacity is retained unless Bytes has
+// handed the buffer out, in which case the storage is abandoned so the
+// previously returned slice stays immutable forever.
+func (w *BitWriter) Reset() {
+	if w.leaked {
+		w.buf = nil
+		w.leaked = false
+	} else {
+		w.buf = w.buf[:0]
+	}
+	w.cur, w.bits, w.n = 0, 0, 0
+}
+
+// Grow ensures capacity for at least n more whole bytes of output, so a
+// writer sized from region statistics completes its stream without
+// intermediate reallocation.
+func (w *BitWriter) Grow(n int) {
+	if n <= 0 || cap(w.buf)-len(w.buf) >= n {
+		return
+	}
+	buf := make([]byte, len(w.buf), len(w.buf)+n)
+	copy(buf, w.buf)
+	w.buf = buf
+	w.leaked = false
 }
 
 // WriteBits appends the low width bits of v, most significant first.
@@ -60,6 +95,7 @@ func (w *BitWriter) Append(src *BitWriter) {
 // from the unpadded position only if the bit count was already a multiple of
 // eight, so callers should treat Bytes as terminal.
 func (w *BitWriter) Bytes() []byte {
+	w.leaked = true
 	out := w.buf
 	if w.bits > 0 {
 		out = append(out, w.cur<<(8-w.bits))
@@ -86,6 +122,13 @@ type BitReader struct {
 
 // NewBitReader returns a reader over buf.
 func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// Reset repositions the reader at bit 0 of a new buffer, exactly as
+// NewBitReader would, so pooled readers replay the fresh-reader bit stream.
+func (r *BitReader) Reset(buf []byte) {
+	r.buf = buf
+	r.pos, r.bitbuf, r.nbits, r.bp = 0, 0, 0, 0
+}
 
 // refill tops the bit buffer up to at least 57 valid bits. Past the end of
 // buf the stream continues with zero bits, matching the zero padding emitted

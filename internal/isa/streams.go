@@ -108,7 +108,15 @@ func OperandFields(op uint32, litFlag bool) []FieldRef {
 // and the operate literal flag is folded into the op.func stream value as
 // its high bit, so that the fifteen streams carry the complete encoding.
 func Fields(in Inst) []FieldValue {
-	out := make([]FieldValue, 0, 5)
+	return AppendFields(make([]FieldValue, 0, 5), in)
+}
+
+// AppendFields is Fields into caller-owned storage: it appends the (stream,
+// value) pairs of in to dst and returns the extended slice. Hot encode loops
+// pass a reused scratch slice (dst[:0]) so field splitting allocates
+// nothing; the pairs produced are identical to Fields'.
+func AppendFields(dst []FieldValue, in Inst) []FieldValue {
+	out := dst
 	op := in.Op
 	if in.Format == FormatIllegal {
 		op = OpIllegal

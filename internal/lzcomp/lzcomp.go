@@ -24,6 +24,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/huffman"
 	"repro/internal/isa"
@@ -76,6 +77,13 @@ type Compressor struct {
 	// telemetry span per region (same hook as streamcomp). Nil records
 	// nothing; the emitted bits are identical either way.
 	Span *obs.Span
+
+	// estBitsPerWord is the expected coded size of one instruction word,
+	// rounded up, computed by Train from the token statistics the codes were
+	// built from. It sizes the pooled per-region writers (see sizeHint); zero
+	// means untrained or deserialized, which falls back to a conservative
+	// default.
+	estBitsPerWord int
 }
 
 // SetSlowDecode selects the reference Huffman decoder for all subsequent
@@ -124,9 +132,60 @@ type token struct {
 	dist, len int
 }
 
+// encScratch is the per-Compress working set — the region's word image and
+// token list — recycled through encPool so a warm encode allocates neither.
+type encScratch struct {
+	words []uint32
+	toks  []token
+}
+
+// decScratch is the per-Decompress back-reference window, recycled likewise.
+type decScratch struct {
+	words []uint32
+}
+
+// The scratch pools follow the bit I/O pools' switch (huffman.SetPooling):
+// one toggle covers the whole coder layer, and the tokens and words produced
+// are identical either way.
+var encPool = sync.Pool{New: func() any { return new(encScratch) }}
+var decPool = sync.Pool{New: func() any { return new(decScratch) }}
+
+func getEncScratch() *encScratch {
+	if huffman.PoolingEnabled() {
+		return encPool.Get().(*encScratch)
+	}
+	return new(encScratch)
+}
+
+func putEncScratch(sc *encScratch) {
+	if huffman.PoolingEnabled() {
+		encPool.Put(sc)
+	}
+}
+
+func getDecScratch() *decScratch {
+	if huffman.PoolingEnabled() {
+		return decPool.Get().(*decScratch)
+	}
+	return new(decScratch)
+}
+
+func putDecScratch(sc *decScratch) {
+	if huffman.PoolingEnabled() {
+		decPool.Put(sc)
+	}
+}
+
 // tokenize converts a word sequence into tokens using greedy longest-match.
 func (c *Compressor) tokenize(words []uint32) []token {
-	var out []token
+	return c.appendTokens(nil, words)
+}
+
+// appendTokens is tokenize into caller-owned storage: it appends the token
+// sequence for words to dst and returns the extended slice, so the pooled
+// encode path reuses one grown token buffer per region.
+func (c *Compressor) appendTokens(dst []token, words []uint32) []token {
+	out := dst
 	for i := 0; i < len(words); {
 		// Longest back-reference within the window.
 		bestLen, bestDist := 0, 0
@@ -219,16 +278,52 @@ func Train(seqs [][]isa.Inst) *Compressor {
 	c.dictCode = huffman.Build(dictF)
 	c.distCode = huffman.Build(distF)
 	c.lenCode = huffman.Build(lenF)
+
+	// Expected coded bits per instruction word, for sizing the pooled
+	// per-region writers. Raw tokens carry 32 extra uncoded bits each; the
+	// per-region end tokens are counted against the word total as well.
+	var totalBits, totalWords uint64
+	for _, pair := range [...]struct {
+		f    map[uint32]uint64
+		code *huffman.Code
+	}{{kindF, c.kindCode}, {dictF, c.dictCode}, {distF, c.distCode}, {lenF, c.lenCode}} {
+		for v, n := range pair.f {
+			totalBits += n * uint64(pair.code.CodeLen(v))
+		}
+	}
+	totalBits += kindF[kindRaw] * 32
+	for _, words := range regions {
+		totalWords += uint64(len(words))
+	}
+	totalWords += uint64(len(regions)) // one end token per region
+	if totalWords > 0 {
+		c.estBitsPerWord = int((totalBits + totalWords - 1) / totalWords)
+	}
 	return c
+}
+
+// sizeHint estimates the byte capacity a region of nWords instruction words
+// needs, from the trained expected bits per word plus slack for the end
+// token, padding, and estimate error.
+func (c *Compressor) sizeHint(nWords int) int {
+	est := c.estBitsPerWord
+	if est <= 0 {
+		est = 24 // conservative default when untrained
+	}
+	return (nWords+1)*est/8 + 16
 }
 
 // Compress appends the coded region to w.
 func (c *Compressor) Compress(w *huffman.BitWriter, seq []isa.Inst) error {
-	words := make([]uint32, len(seq))
-	for i, in := range seq {
-		words[i] = isa.Encode(in)
+	sc := getEncScratch()
+	defer putEncScratch(sc)
+	words := sc.words[:0]
+	for _, in := range seq {
+		words = append(words, isa.Encode(in))
 	}
-	for _, t := range c.tokenize(words) {
+	toks := c.appendTokens(sc.toks[:0], words)
+	sc.words, sc.toks = words, toks // retain grown capacity across recycles
+	for _, t := range toks {
 		if err := c.kindCode.Encode(w, uint32(t.kind)); err != nil {
 			return fmt.Errorf("lzcomp: kind: %w", err)
 		}
@@ -261,31 +356,40 @@ func (c *Compressor) CompressAll(seqs [][]isa.Inst, workers int) (blob []byte, o
 	c.Prime() // lazy encoder init would race across goroutines
 	parts, err := parallel.Map(len(seqs), workers, func(i int) (*huffman.BitWriter, error) {
 		sp := c.Span.Fork("region.encode", "region", i, "insts", len(seqs[i]))
-		var w huffman.BitWriter
-		if err := c.Compress(&w, seqs[i]); err != nil {
+		w := huffman.GetWriter(c.sizeHint(len(seqs[i])))
+		if err := c.Compress(w, seqs[i]); err != nil {
 			sp.End()
+			huffman.PutWriter(w)
 			return nil, fmt.Errorf("region %d: %w", i, err)
 		}
 		sp.SetArg("bits", w.Len())
 		sp.End()
-		return &w, nil
+		return w, nil
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 	var out huffman.BitWriter
+	total := 0
+	for _, part := range parts {
+		total += (part.Len() + 7) / 8
+	}
+	out.Grow(total + 1)
 	offsets = make([]uint32, len(seqs))
 	for i, part := range parts {
 		offsets[i] = uint32(out.Len())
 		out.Append(part)
+		parts[i] = nil
+		huffman.PutWriter(part) // Bytes was never called on part, so its buffer recycles
 	}
 	return out.Bytes(), offsets, nil
 }
 
 // CompressedBits reports the coded size of seq, including the terminator.
 func (c *Compressor) CompressedBits(seq []isa.Inst) (int, error) {
-	var w huffman.BitWriter
-	if err := c.Compress(&w, seq); err != nil {
+	w := huffman.GetWriter(c.sizeHint(len(seq)))
+	defer huffman.PutWriter(w)
+	if err := c.Compress(w, seq); err != nil {
 		return 0, err
 	}
 	return w.Len(), nil
@@ -300,17 +404,19 @@ func (c *Compressor) CompressedBits(seq []isa.Inst) (int, error) {
 // as a from-scratch decoder would. isa.Decode is a pure function, so both
 // modes emit identical instructions.
 func (c *Compressor) Decompress(blob []byte, bitOff int, emit func(isa.Inst) error) (int, error) {
-	r := huffman.NewBitReader(blob)
+	r := huffman.GetReader(blob)
+	defer huffman.PutReader(r)
 	r.Seek(bitOff)
 	fast := !c.slowDecode
 	if fast && c.dictInsts == nil {
 		c.primeDictInsts()
 	}
-	var words []uint32
-	push := func(w uint32) error {
-		words = append(words, w)
-		return emit(isa.Decode(w))
-	}
+	// The back-reference window lives in pooled scratch; appending through
+	// sc.words (rather than a local captured by a push closure) keeps the
+	// grown capacity across recycles and the loop allocation-free.
+	sc := getDecScratch()
+	sc.words = sc.words[:0]
+	defer putDecScratch(sc)
 	for {
 		kind, err := c.decodeSym(c.kindCode, r)
 		if err != nil {
@@ -327,17 +433,19 @@ func (c *Compressor) Decompress(blob []byte, bitOff int, emit func(isa.Inst) err
 			if int(idx) >= len(c.dict) {
 				return r.BitsRead() - bitOff, fmt.Errorf("lzcomp: dictionary index %d out of range", idx)
 			}
+			sc.words = append(sc.words, c.dict[idx])
 			if fast {
-				words = append(words, c.dict[idx])
 				err = emit(c.dictInsts[idx])
 			} else {
-				err = push(c.dict[idx])
+				err = emit(isa.Decode(c.dict[idx]))
 			}
 			if err != nil {
 				return r.BitsRead() - bitOff, err
 			}
 		case kindRaw:
-			if err := push(uint32(r.ReadBits(32))); err != nil {
+			w := uint32(r.ReadBits(32))
+			sc.words = append(sc.words, w)
+			if err := emit(isa.Decode(w)); err != nil {
 				return r.BitsRead() - bitOff, err
 			}
 		case kindMatch:
@@ -349,12 +457,14 @@ func (c *Compressor) Decompress(blob []byte, bitOff int, emit func(isa.Inst) err
 			if err != nil {
 				return r.BitsRead() - bitOff, err
 			}
-			if int(dist) <= 0 || int(dist) > len(words) {
-				return r.BitsRead() - bitOff, fmt.Errorf("lzcomp: distance %d outside window of %d", dist, len(words))
+			if int(dist) <= 0 || int(dist) > len(sc.words) {
+				return r.BitsRead() - bitOff, fmt.Errorf("lzcomp: distance %d outside window of %d", dist, len(sc.words))
 			}
-			start := len(words) - int(dist)
+			start := len(sc.words) - int(dist)
 			for k := 0; k < int(length); k++ {
-				if err := push(words[start+k]); err != nil {
+				w := sc.words[start+k]
+				sc.words = append(sc.words, w)
+				if err := emit(isa.Decode(w)); err != nil {
 					return r.BitsRead() - bitOff, err
 				}
 			}

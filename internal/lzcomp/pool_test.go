@@ -1,0 +1,114 @@
+package lzcomp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/huffman"
+	"repro/internal/isa"
+)
+
+// lzTestSeqs builds a mixed corpus: repetitive stretches (matches), a small
+// recurring alphabet (dictionary hits), and odd one-off words (raw escapes).
+func lzTestSeqs() [][]isa.Inst {
+	base := []isa.Inst{
+		isa.Mem(isa.OpLDW, 1, isa.RegSP, 8),
+		isa.OpR(isa.OpIntA, 1, 2, isa.FnADD, 3),
+		isa.Mem(isa.OpSTW, 3, isa.RegSP, 8),
+	}
+	var rep []isa.Inst
+	for i := 0; i < 120; i++ {
+		rep = append(rep, base...)
+	}
+	var mixed []isa.Inst
+	for i := 0; i < 200; i++ {
+		mixed = append(mixed, base[i%len(base)])
+		if i%7 == 0 {
+			mixed = append(mixed, isa.OpL(isa.OpIntA, uint32(i%32), uint32(i%256), isa.FnSUB, 5))
+		}
+	}
+	return [][]isa.Inst{rep, mixed, {}, base}
+}
+
+// TestPoolingOnOffByteIdentical: with pools enabled (cycled to warmth) and
+// disabled, CompressAll emits the identical blob and offsets and Decompress
+// yields the identical instructions.
+func TestPoolingOnOffByteIdentical(t *testing.T) {
+	defer huffman.SetPooling(true)
+	seqs := lzTestSeqs()
+	c := Train(seqs)
+
+	cycle := func() ([]byte, []uint32, [][]isa.Inst) {
+		blob, offsets, err := c.CompressAll(seqs, 2)
+		if err != nil {
+			t.Fatalf("CompressAll: %v", err)
+		}
+		dec := make([][]isa.Inst, len(seqs))
+		for i := range seqs {
+			if _, err := c.Decompress(blob, int(offsets[i]), func(in isa.Inst) error {
+				dec[i] = append(dec[i], in)
+				return nil
+			}); err != nil {
+				t.Fatalf("Decompress region %d: %v", i, err)
+			}
+		}
+		return blob, offsets, dec
+	}
+
+	huffman.SetPooling(false)
+	wantBlob, wantOffs, wantDec := cycle()
+
+	huffman.SetPooling(true)
+	for n := 0; n < 3; n++ {
+		blob, offs, dec := cycle()
+		if !bytes.Equal(blob, wantBlob) {
+			t.Fatalf("cycle %d: pooled blob differs from pools-off blob", n)
+		}
+		for i := range offs {
+			if offs[i] != wantOffs[i] {
+				t.Fatalf("cycle %d: offset %d = %d, want %d", n, i, offs[i], wantOffs[i])
+			}
+		}
+		for i := range dec {
+			if len(dec[i]) != len(wantDec[i]) {
+				t.Fatalf("cycle %d region %d: %d insts, want %d", n, i, len(dec[i]), len(wantDec[i]))
+			}
+			for k := range dec[i] {
+				if dec[i][k] != wantDec[i][k] {
+					t.Fatalf("cycle %d region %d inst %d differs", n, i, k)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkLZTokenDecodeAlloc is the paired allocation benchmark for LZ token
+// decode: one op decompresses a full trained region (dictionary hits, matches
+// and raw escapes). "pooled" recycles the reader and the back-reference
+// window; "fresh" allocates both per op (pools off), the pre-pool behaviour.
+// CI gates the pooled allocs/op ceiling and the fresh/pooled reduction.
+func BenchmarkLZTokenDecodeAlloc(b *testing.B) {
+	seqs := lzTestSeqs()
+	c := Train(seqs)
+	c.Prime()
+	var w huffman.BitWriter
+	if err := c.Compress(&w, seqs[1]); err != nil {
+		b.Fatal(err)
+	}
+	blob := w.Bytes()
+	emit := func(isa.Inst) error { return nil }
+	run := func(b *testing.B, pooled bool) {
+		b.Helper()
+		huffman.SetPooling(pooled)
+		defer huffman.SetPooling(true)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Decompress(blob, 0, emit); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("pooled", func(b *testing.B) { run(b, true) })
+	b.Run("fresh", func(b *testing.B) { run(b, false) })
+}

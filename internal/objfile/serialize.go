@@ -21,9 +21,42 @@ import (
 
 var imageMagic = [4]byte{'E', 'M', 'X', '1'}
 
-// WriteTo serializes the image.
+// WriteTo serializes the image. A *bytes.Buffer destination is appended to
+// directly with an exact presize (the daemon's pooled request scratch takes
+// this path, making a warm serialization allocation-free); any other writer
+// receives the whole image in a single Write, as before.
 func (im *Image) WriteTo(w io.Writer) (int64, error) {
+	if buf, ok := w.(*bytes.Buffer); ok {
+		start := buf.Len()
+		buf.Grow(im.serializedSize())
+		im.appendTo(buf)
+		return int64(buf.Len() - start), nil
+	}
 	var buf bytes.Buffer
+	buf.Grow(im.serializedSize())
+	im.appendTo(&buf)
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// serializedSize reports the exact byte length appendTo produces.
+func (im *Image) serializedSize() int {
+	n := len(imageMagic) + 4 + // magic, entry
+		4 + 4*len(im.Text) +
+		4 + len(im.Data) +
+		4 + 4 + len(im.Meta) // symbol count, meta
+	for _, s := range im.Symbols {
+		n += 2 + min(len(s.Name), 0xFFFF) + 1 + 4 + 1
+	}
+	n += 4 // reloc count
+	for _, r := range im.Relocs {
+		n += 1 + 4 + 1 + 2 + min(len(r.Sym), 0xFFFF) + 4
+	}
+	return n
+}
+
+// appendTo writes the serialized image into buf.
+func (im *Image) appendTo(buf *bytes.Buffer) {
 	buf.Write(imageMagic[:])
 	le := binary.LittleEndian
 	writeU32 := func(v uint32) { var b [4]byte; le.PutUint32(b[:], v); buf.Write(b[:]) }
@@ -60,8 +93,6 @@ func (im *Image) WriteTo(w io.Writer) (int64, error) {
 	}
 	writeU32(uint32(len(im.Meta)))
 	buf.Write(im.Meta)
-	n, err := w.Write(buf.Bytes())
-	return int64(n), err
 }
 
 // ReadImage deserializes an image written by WriteTo.

@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// WriteHeapProfile writes a heap profile to path after forcing a GC, so the
+// profile shows live retention rather than whatever transient garbage the
+// run left behind. Every -memprofile flag funnels through here: the forced
+// GC is what makes before/after profiles comparable when judging pooling
+// changes, and centralizing it keeps a new command from forgetting it.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/objfile"
+	"repro/internal/testprog"
+	"repro/internal/vm"
+)
+
+// BenchmarkRequestScratch is the paired allocation benchmark for the
+// daemon's per-request serialization scratch: one op serializes a squashed
+// image the way a cache-miss response does. "pooled" recycles the scratch
+// buffer and pays only the exact-size copy the cache retains; "fresh" grows
+// a new buffer from zero per request, the pre-pool behaviour. CI gates the
+// pooled allocs/op ceiling and the fresh/pooled reduction via benchhist.
+func BenchmarkRequestScratch(b *testing.B) {
+	src := testprog.Random(7)
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	im, err := objfile.Link("main", obj)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := vm.New(im, []byte("request scratch bench"))
+	m.EnableProfile()
+	if err := m.Run(); err != nil {
+		b.Fatal(err)
+	}
+	out, err := core.Squash(obj, m.Profile, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(b *testing.B, pooled bool) {
+		b.Helper()
+		SetPooling(pooled)
+		defer SetPooling(true)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sc := getReqScratch()
+			image, err := serializeInto(&sc.img, out.Image)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(image) == 0 {
+				b.Fatal("empty image")
+			}
+			putReqScratch(sc)
+		}
+	}
+	b.Run("pooled", func(b *testing.B) { run(b, true) })
+	b.Run("fresh", func(b *testing.B) { run(b, false) })
+}

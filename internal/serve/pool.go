@@ -1,0 +1,69 @@
+package serve
+
+// Per-request scratch buffers. A warm squashd request serializes the output
+// image (and, for bench requests, the prepared object and profile) through
+// bytes.Buffers; growing those from zero on every request dominated the
+// daemon's steady-state allocation profile. The buffers recycle through a
+// sync.Pool; anything that outlives the request — the cached image, the
+// response bytes — is copied out at exact size, so recycling can never
+// mutate a byte a cache entry or in-flight response still holds.
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// poolingOff disables the request-scratch pool when set. This is the serve
+// layer's own switch (cmd/squashd's -nopool flag flips it together with
+// core.SetPooling); responses are byte-identical either way.
+var poolingOff atomic.Bool
+
+// SetPooling enables (the default) or disables the request-scratch pool.
+func SetPooling(on bool) { poolingOff.Store(!on) }
+
+// PoolingEnabled reports whether the request-scratch pool is active.
+func PoolingEnabled() bool { return !poolingOff.Load() }
+
+// maxScratchBytes bounds the per-buffer capacity the pool retains; a
+// pathologically large request's buffers are dropped for the GC.
+const maxScratchBytes = 8 << 20
+
+// reqScratch is one request's serialization working set: the squashed image
+// (squash path) and the prepared object and profile (bench path).
+type reqScratch struct {
+	img, obj, prof bytes.Buffer
+}
+
+var reqScratchPool = sync.Pool{New: func() any { return new(reqScratch) }}
+
+func getReqScratch() *reqScratch {
+	if poolingOff.Load() {
+		return new(reqScratch)
+	}
+	return reqScratchPool.Get().(*reqScratch)
+}
+
+func putReqScratch(sc *reqScratch) {
+	if poolingOff.Load() {
+		return
+	}
+	if sc.img.Cap() > maxScratchBytes || sc.obj.Cap() > maxScratchBytes || sc.prof.Cap() > maxScratchBytes {
+		return
+	}
+	reqScratchPool.Put(sc)
+}
+
+// serializeInto streams src into the recycled buffer and returns an
+// exact-size copy that the caller may retain indefinitely. The single copy
+// is the one steady-state allocation of a warm cache-miss response.
+func serializeInto(buf *bytes.Buffer, src io.WriterTo) ([]byte, error) {
+	buf.Reset()
+	if _, err := src.WriteTo(buf); err != nil {
+		return nil, err
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}

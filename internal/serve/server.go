@@ -324,14 +324,20 @@ func (s *Server) process(req *Request) *Response {
 			return errResponse(err.Error())
 		}
 		s.met.prepCache(prepHit)
-		var objBuf, profBuf bytes.Buffer
-		if _, err := b.SqObj.WriteTo(&objBuf); err != nil {
+		// The object and profile images live only for the duration of this
+		// request (squash parses them and the result cache keys on their
+		// content), so they serialize into pooled scratch.
+		sc := getReqScratch()
+		defer putReqScratch(sc)
+		sc.obj.Reset()
+		if _, err := b.SqObj.WriteTo(&sc.obj); err != nil {
 			return errResponse(err.Error())
 		}
-		if _, err := b.Profile.WriteTo(&profBuf); err != nil {
+		sc.prof.Reset()
+		if _, err := b.Profile.WriteTo(&sc.prof); err != nil {
 			return errResponse(err.Error())
 		}
-		resp := s.squash(objBuf.Bytes(), profBuf.Bytes(), conf, prepHit)
+		resp := s.squash(sc.obj.Bytes(), sc.prof.Bytes(), conf, prepHit)
 		return resp
 	case OpBatch:
 		return s.processBatch(req)
@@ -365,14 +371,18 @@ func (s *Server) squash(objBytes, profBytes []byte, conf core.Config, prepHit bo
 	if err != nil {
 		return errResponse(err.Error())
 	}
-	var img bytes.Buffer
-	if _, err := out.Image.WriteTo(&img); err != nil {
+	// Serialize through pooled scratch; the cache and the response retain
+	// only the exact-size copy, never the recycled buffer.
+	sc := getReqScratch()
+	defer putReqScratch(sc)
+	image, err := serializeInto(&sc.img, out.Image)
+	if err != nil {
 		return errResponse(err.Error())
 	}
-	s.cache.put(&cacheEntry{key: key, image: img.Bytes(), stats: out.Stats, foot: out.Foot})
+	s.cache.put(&cacheEntry{key: key, image: image, stats: out.Stats, foot: out.Foot})
 	s.met.resEntries.Set(int64(s.cache.len()))
 	stats, foot := out.Stats, out.Foot
-	return &Response{OK: true, Image: img.Bytes(), Stats: &stats, Foot: &foot,
+	return &Response{OK: true, Image: image, Stats: &stats, Foot: &foot,
 		PrepCached: prepHit}
 }
 

@@ -1,0 +1,119 @@
+package streamcomp
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/huffman"
+	"repro/internal/isa"
+)
+
+// compressDecompress runs the full CompressAll + per-region Decompress cycle
+// and returns the blob, offsets, and decoded instructions.
+func compressDecompress(t *testing.T, c *Compressor, seqs [][]isa.Inst, workers int) ([]byte, []uint32, [][]isa.Inst) {
+	t.Helper()
+	blob, offsets, err := c.CompressAll(seqs, workers)
+	if err != nil {
+		t.Fatalf("CompressAll: %v", err)
+	}
+	decoded := make([][]isa.Inst, len(seqs))
+	for i := range seqs {
+		if _, err := c.Decompress(blob, int(offsets[i]), func(in isa.Inst) error {
+			decoded[i] = append(decoded[i], in)
+			return nil
+		}); err != nil {
+			t.Fatalf("Decompress region %d: %v", i, err)
+		}
+	}
+	return blob, offsets, decoded
+}
+
+// TestPoolingOnOffByteIdentical is the coder-level half of the pooling
+// invariant: with pools enabled (warm, cycled repeatedly) and disabled, the
+// compressed blob, the region offsets, and the decoded instructions are
+// identical. Runs both the plain and MTF variants.
+func TestPoolingOnOffByteIdentical(t *testing.T) {
+	defer huffman.SetPooling(true)
+	seqs := [][]isa.Inst{
+		realisticSeq(1, 300),
+		realisticSeq(2, 7),
+		realisticSeq(3, 1200),
+		{},
+		realisticSeq(4, 64),
+	}
+	for _, opts := range []Options{{}, {MTF: true}} {
+		c := Train(seqs, opts)
+
+		huffman.SetPooling(false)
+		wantBlob, wantOffs, wantDec := compressDecompress(t, c, seqs, 3)
+
+		huffman.SetPooling(true)
+		for cycle := 0; cycle < 3; cycle++ { // cycle 0 cold pools, later ones warm
+			blob, offs, dec := compressDecompress(t, c, seqs, 3)
+			if !bytes.Equal(blob, wantBlob) {
+				t.Fatalf("MTF=%v cycle %d: pooled blob differs from pools-off blob", opts.MTF, cycle)
+			}
+			for i := range offs {
+				if offs[i] != wantOffs[i] {
+					t.Fatalf("MTF=%v cycle %d: offset %d = %d, want %d", opts.MTF, cycle, i, offs[i], wantOffs[i])
+				}
+			}
+			for i := range dec {
+				if len(dec[i]) != len(wantDec[i]) {
+					t.Fatalf("MTF=%v cycle %d region %d: %d insts, want %d", opts.MTF, cycle, i, len(dec[i]), len(wantDec[i]))
+				}
+				for k := range dec[i] {
+					if dec[i][k] != wantDec[i][k] {
+						t.Fatalf("MTF=%v cycle %d region %d inst %d differs", opts.MTF, cycle, i, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSizeHintCoversTypicalRegions: the trained estimate should be tight
+// enough that a pooled writer sized by it encodes a typical region without
+// growing, which is what makes the warm encode path allocation-free.
+func TestSizeHintCoversTypicalRegions(t *testing.T) {
+	seqs := [][]isa.Inst{realisticSeq(10, 600), realisticSeq(11, 600)}
+	c := Train(seqs, Options{})
+	if c.estBitsPerInst <= 0 {
+		t.Fatal("Train left estBitsPerInst unset")
+	}
+	for i, seq := range seqs {
+		bits, err := c.CompressedBits(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := c.sizeHint(len(seq)); got < (bits+7)/8 {
+			t.Errorf("region %d: sizeHint(%d) = %d bytes < actual %d", i, len(seq), got, (bits+7)/8)
+		}
+	}
+}
+
+// BenchmarkRegionEncodeAlloc is the paired allocation benchmark for a region
+// encode: one op compresses a ~512-instruction region into a writer sized
+// from the trained estimate. "pooled" recycles the writer; "fresh" allocates
+// one per op (pools off), the pre-pool behaviour. CI gates the pooled
+// allocs/op ceiling and the fresh/pooled reduction via benchhist.
+func BenchmarkRegionEncodeAlloc(b *testing.B) {
+	seq := realisticSeq(99, 512)
+	c := Train([][]isa.Inst{seq}, Options{})
+	run := func(b *testing.B, pooled bool) {
+		b.Helper()
+		huffman.SetPooling(pooled)
+		defer huffman.SetPooling(true)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w := huffman.GetWriter(c.sizeHint(len(seq)))
+			if err := c.Compress(w, seq); err != nil {
+				b.Fatal(err)
+			}
+			huffman.PutWriter(w)
+		}
+	}
+	b.Run("pooled", func(b *testing.B) { run(b, true) })
+	b.Run("fresh", func(b *testing.B) { run(b, false) })
+}

@@ -50,6 +50,14 @@ type Compressor struct {
 	alphabets [isa.NumStreams][]uint32
 	opts      Options
 
+	// estBitsPerInst is the expected coded size of one instruction, rounded
+	// up, computed by Train from the same frequency counts the codes were
+	// built from (Σ freq·codelen over all streams ÷ opcode count). It sizes
+	// the pooled per-region writers so a region encode completes without
+	// intermediate buffer growth; zero (an untrained or deserialized
+	// compressor) falls back to a conservative default.
+	estBitsPerInst int
+
 	// slowDecode routes every field decode through the reference bit-at-a-
 	// time decoder (huffman.Code.DecodeTree) instead of the table-driven
 	// one. Both consume identical bits; the switch exists so the runtime's
@@ -151,11 +159,32 @@ func Train(seqs [][]isa.Inst, opts Options) *Compressor {
 			}
 		}
 	}
+	var totalBits, totalInsts uint64
 	for i := range c.codes {
 		c.codes[i] = huffman.Build(freqs[i])
 		c.codes[i].Prime()
+		for v, n := range freqs[i] {
+			totalBits += n * uint64(c.codes[i].CodeLen(v))
+		}
+	}
+	for _, n := range freqs[isa.StreamOpcode] {
+		totalInsts += n // every instruction (and sentinel) has an opcode
+	}
+	if totalInsts > 0 {
+		c.estBitsPerInst = int((totalBits + totalInsts - 1) / totalInsts)
 	}
 	return c
+}
+
+// sizeHint estimates the byte capacity a region of nInsts instructions needs,
+// from the trained expected bits per instruction (plus the sentinel and a
+// small slack for padding and estimate error).
+func (c *Compressor) sizeHint(nInsts int) int {
+	est := c.estBitsPerInst
+	if est <= 0 {
+		est = 24 // conservative default when untrained
+	}
+	return (nInsts+1)*est/8 + 16
 }
 
 func sortU32(v []uint32) {
@@ -180,27 +209,33 @@ func (c *Compressor) newMTF() []*mtfState {
 // independently.
 func (c *Compressor) Compress(w *huffman.BitWriter, seq []isa.Inst) error {
 	mtf := c.newMTF()
-	emit := func(in isa.Inst) error {
-		for _, fv := range isa.Fields(in) {
-			v := fv.Value
-			if mtf != nil {
-				v = mtf[fv.Kind].encode(v)
-			}
-			if err := c.codes[fv.Kind].Encode(w, v); err != nil {
-				return fmt.Errorf("streamcomp: %v stream: %w", fv.Kind, err)
-			}
-		}
-		return nil
-	}
+	// One stack-resident scratch serves every field split in the region; the
+	// encode loop allocates nothing per instruction.
+	var fvbuf [8]isa.FieldValue
 	for _, in := range seq {
 		if in.Format == isa.FormatIllegal {
 			return fmt.Errorf("streamcomp: illegal instruction inside region")
 		}
-		if err := emit(in); err != nil {
+		if err := c.encodeInst(w, in, mtf, fvbuf[:0]); err != nil {
 			return err
 		}
 	}
-	return emit(sentinelInst)
+	return c.encodeInst(w, sentinelInst, mtf, fvbuf[:0])
+}
+
+// encodeInst emits one instruction's codewords into w, splitting its fields
+// into caller-provided scratch.
+func (c *Compressor) encodeInst(w *huffman.BitWriter, in isa.Inst, mtf []*mtfState, scratch []isa.FieldValue) error {
+	for _, fv := range isa.AppendFields(scratch, in) {
+		v := fv.Value
+		if mtf != nil {
+			v = mtf[fv.Kind].encode(v)
+		}
+		if err := c.codes[fv.Kind].Encode(w, v); err != nil {
+			return fmt.Errorf("streamcomp: %v stream: %w", fv.Kind, err)
+		}
+	}
+	return nil
 }
 
 // CompressAll compresses every sequence and concatenates the per-sequence
@@ -215,23 +250,31 @@ func (c *Compressor) CompressAll(seqs [][]isa.Inst, workers int) (blob []byte, o
 	}
 	parts, err := parallel.Map(len(seqs), workers, func(i int) (*huffman.BitWriter, error) {
 		sp := c.Span.Fork("region.encode", "region", i, "insts", len(seqs[i]))
-		var w huffman.BitWriter
-		if err := c.Compress(&w, seqs[i]); err != nil {
+		w := huffman.GetWriter(c.sizeHint(len(seqs[i])))
+		if err := c.Compress(w, seqs[i]); err != nil {
 			sp.End()
+			huffman.PutWriter(w)
 			return nil, fmt.Errorf("region %d: %w", i, err)
 		}
 		sp.SetArg("bits", w.Len())
 		sp.End()
-		return &w, nil
+		return w, nil
 	})
 	if err != nil {
 		return nil, nil, err
 	}
 	var out huffman.BitWriter
+	total := 0
+	for _, part := range parts {
+		total += (part.Len() + 7) / 8
+	}
+	out.Grow(total + 1)
 	offsets = make([]uint32, len(seqs))
 	for i, part := range parts {
 		offsets[i] = uint32(out.Len())
 		out.Append(part)
+		parts[i] = nil
+		huffman.PutWriter(part) // Bytes was never called on part, so its buffer recycles
 	}
 	return out.Bytes(), offsets, nil
 }
@@ -239,8 +282,9 @@ func (c *Compressor) CompressAll(seqs [][]isa.Inst, workers int) (blob []byte, o
 // CompressedBits reports the exact coded size in bits of seq including its
 // sentinel, without emitting anything.
 func (c *Compressor) CompressedBits(seq []isa.Inst) (int, error) {
-	var w huffman.BitWriter
-	if err := c.Compress(&w, seq); err != nil {
+	w := huffman.GetWriter(c.sizeHint(len(seq)))
+	defer huffman.PutWriter(w)
+	if err := c.Compress(w, seq); err != nil {
 		return 0, err
 	}
 	return w.Len(), nil
@@ -251,44 +295,33 @@ func (c *Compressor) CompressedBits(seq []isa.Inst) (int, error) {
 // sentinel. It returns the number of compressed bits consumed (sentinel
 // included), which the simulator's cost model charges for.
 func (c *Compressor) Decompress(blob []byte, bitOff int, emit func(isa.Inst) error) (bitsRead int, err error) {
-	r := huffman.NewBitReader(blob)
+	r := huffman.GetReader(blob)
+	defer huffman.PutReader(r)
 	r.Seek(bitOff)
 	mtf := c.newMTF()
-	decodeField := func(k isa.StreamKind) (uint32, error) {
-		var v uint32
-		var err error
-		if c.slowDecode {
-			v, err = c.codes[k].DecodeTree(r)
-		} else {
-			v, err = c.codes[k].Decode(r)
-		}
-		if err != nil {
-			return 0, fmt.Errorf("streamcomp: %v stream: %w", k, err)
-		}
-		if mtf != nil {
-			v = mtf[k].decode(v)
-		}
-		return v, nil
-	}
+	// One stack-resident scratch holds each instruction's fields; FromFields
+	// does not retain it, so the decode loop allocates nothing per
+	// instruction.
+	var fvbuf [8]isa.FieldValue
 	for {
-		op, err := decodeField(isa.StreamOpcode)
+		op, err := c.decodeField(r, mtf, isa.StreamOpcode)
 		if err != nil {
 			return r.BitsRead() - bitOff, err
 		}
 		if op == isa.OpIllegal {
 			return r.BitsRead() - bitOff, nil // sentinel
 		}
-		fv := []isa.FieldValue{{Kind: isa.StreamOpcode, Value: op}}
+		fv := append(fvbuf[:0], isa.FieldValue{Kind: isa.StreamOpcode, Value: op})
 		// The opcode selects the remaining streams; for the operate group
 		// the op.func stream (decoded before op.rb/op.lit) carries the
 		// literal flag in its high bit.
 		switch isa.FormatOf(op) {
 		case isa.FormatOpReg:
-			ra, err := decodeField(isa.StreamOpRA)
+			ra, err := c.decodeField(r, mtf, isa.StreamOpRA)
 			if err != nil {
 				return r.BitsRead() - bitOff, err
 			}
-			fn, err := decodeField(isa.StreamOpFunc)
+			fn, err := c.decodeField(r, mtf, isa.StreamOpFunc)
 			if err != nil {
 				return r.BitsRead() - bitOff, err
 			}
@@ -296,11 +329,11 @@ func (c *Compressor) Decompress(blob []byte, bitOff int, emit func(isa.Inst) err
 			if fn>>7&1 == 1 {
 				bKind = isa.StreamOpLit
 			}
-			bv, err := decodeField(bKind)
+			bv, err := c.decodeField(r, mtf, bKind)
 			if err != nil {
 				return r.BitsRead() - bitOff, err
 			}
-			rc, err := decodeField(isa.StreamOpRC)
+			rc, err := c.decodeField(r, mtf, isa.StreamOpRC)
 			if err != nil {
 				return r.BitsRead() - bitOff, err
 			}
@@ -313,7 +346,7 @@ func (c *Compressor) Decompress(blob []byte, bitOff int, emit func(isa.Inst) err
 			return r.BitsRead() - bitOff, fmt.Errorf("streamcomp: undecodable opcode %#x", op)
 		default:
 			for _, ref := range isa.OperandFields(op, false) {
-				v, err := decodeField(ref.Kind)
+				v, err := c.decodeField(r, mtf, ref.Kind)
 				if err != nil {
 					return r.BitsRead() - bitOff, err
 				}
@@ -324,6 +357,25 @@ func (c *Compressor) Decompress(blob []byte, bitOff int, emit func(isa.Inst) err
 			return r.BitsRead() - bitOff, err
 		}
 	}
+}
+
+// decodeField decodes one codeword of stream k from r, applying the inverse
+// MTF transform when enabled.
+func (c *Compressor) decodeField(r *huffman.BitReader, mtf []*mtfState, k isa.StreamKind) (uint32, error) {
+	var v uint32
+	var err error
+	if c.slowDecode {
+		v, err = c.codes[k].DecodeTree(r)
+	} else {
+		v, err = c.codes[k].Decode(r)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("streamcomp: %v stream: %w", k, err)
+	}
+	if mtf != nil {
+		v = mtf[k].decode(v)
+	}
+	return v, nil
 }
 
 // TableBytes reports the serialized size of all fifteen code tables — the

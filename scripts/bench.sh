@@ -14,6 +14,10 @@
 # CI runs COUNT=1 and pipes the output into cmd/benchhist, which appends the
 # per-commit pair ratios to BENCH_history.json and fails on a regression
 # past the pair's floor.
+#
+# -benchmem is always on: the allocs/op and B/op columns ride along in the
+# same output (benchhist ignores them here; scripts/alloc_gate.sh runs the
+# dedicated pooled/fresh allocation pairs and gates on those columns).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,5 +26,5 @@ BENCHTIME="${BENCHTIME:-1s}"
 
 go test -run '^$' \
   -bench 'BenchmarkVMStep|BenchmarkHuffmanDecode|BenchmarkBitReaderReadBits|BenchmarkRegionDecompress|BenchmarkInterpRegionExec|BenchmarkLZDecode' \
-  -benchtime "$BENCHTIME" -count "$COUNT" \
+  -benchtime "$BENCHTIME" -count "$COUNT" -benchmem \
   ./internal/vm/ ./internal/huffman/ ./internal/core/ ./internal/lzcomp/

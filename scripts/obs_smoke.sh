@@ -50,15 +50,24 @@ for b in "${benches[@]}"; do
   "$work/em-run" -in "$work/$b.prof.in" -profile "$work/$b.prof" \
     "$work/$b.exe" > /dev/null
 
-  # Squash silently, then again with full telemetry; images must match.
+  # Squash silently, then again with full telemetry (plus a post-squash
+  # heap profile — the pooling work's steady-state retention artifact);
+  # images must match.
   "$work/squash" -profile "$work/$b.prof" -theta 1.0 \
     -o "$work/$b.plain.exe" "$work/$b.o" > /dev/null
   "$work/squash" -profile "$work/$b.prof" -theta 1.0 \
     -trace "$work/$b.trace.json" -metrics "$work/$b.metrics.json" \
+    -memprofile "$work/$b.heap.pprof" \
     -o "$work/$b.obs.exe" "$work/$b.o" > /dev/null 2> "$work/$b.summary.txt"
   cmp "$work/$b.plain.exe" "$work/$b.obs.exe" || {
     echo "FAIL: $b image changed when telemetry was attached" >&2; exit 1; }
   echo "$b images identical with and without telemetry"
+
+  # Heap profiles are gzipped protobuf; check the magic so a truncated or
+  # empty write fails here instead of when someone opens the artifact.
+  [ "$(head -c2 "$work/$b.heap.pprof" | od -An -tx1 | tr -d ' ')" = "1f8b" ] || {
+    echo "FAIL: $b heap profile is not a gzipped pprof file" >&2; exit 1; }
+  echo "$b heap profile written ($(wc -c < "$work/$b.heap.pprof") bytes)"
 
   grep -q "squash" "$work/$b.summary.txt" || {
     echo "FAIL: $b trace summary missing the root span" >&2; exit 1; }
@@ -83,7 +92,7 @@ EOF
 
   if [ -n "$keep" ]; then
     cp "$work/$b.trace.json" "$work/$b.metrics.json" "$work/$b.stats.json" \
-       "$work/$b.summary.txt" "$keep/"
+       "$work/$b.summary.txt" "$work/$b.heap.pprof" "$keep/"
   fi
 done
 
