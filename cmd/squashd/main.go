@@ -27,7 +27,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -56,6 +55,7 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics (Prometheus), /metrics.json, and /debug/pprof on this host:port")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of request and pipeline spans here at shutdown")
 	record := flag.String("record", "", "append each request arrival (content hash / bench key, offset) to this JSONL file for cmd/squashload replay")
+	protoMax := flag.Int("proto-max", 0, "highest wire protocol version to accept (0 = latest; 1 makes the daemon answer v2 openings with a downgrade error, like a pre-v2 build)")
 
 	// Client requests.
 	stats := flag.Bool("stats", false, "client: print the server's stats snapshot as JSON")
@@ -64,6 +64,8 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "client: input scale for -bench")
 	batch := flag.String("batch", "", "client: comma-separated batch items, each a bench name or OBJ:PROFILE file pair, sent as one frame")
 	outDir := flag.String("out-dir", ".", "client: directory for -batch images (batch-NN.sqz.exe)")
+	proto := flag.Int("proto", 0, "client: pin the wire protocol version (1 or 2; 0 negotiates, preferring v2)")
+	noImage := flag.Bool("noimage", false, "client: stats-only requests — the server runs the squash but omits image bytes from the response")
 
 	// Squash configuration, mirroring cmd/squash.
 	profIn := flag.String("profile", "", "basic-block profile from em-run -profile")
@@ -97,6 +99,7 @@ func main() {
 			Timeout:      *timeout,
 			CacheEntries: *cacheEntries,
 			PrepCacheDir: *prepDir,
+			MaxProto:     *protoMax,
 		}, *metricsAddr, *traceOut, *record)
 	case *connect != "":
 		conf := core.Config{
@@ -121,6 +124,7 @@ func main() {
 			bench: *bench, scale: *scale,
 			batch: *batch, outDir: *outDir,
 			profIn: *profIn, out: *out, conf: conf,
+			proto: *proto, noImage: *noImage,
 		})
 	default:
 		fmt.Fprintln(os.Stderr, "usage: squashd -listen ADDR [server flags]")
@@ -240,18 +244,20 @@ type clientArgs struct {
 	batch, outDir string
 	profIn, out   string
 	conf          core.Config
+	proto         int
+	noImage       bool
 }
 
 func runClient(addr string, a clientArgs) {
-	conn, err := serve.Dial(addr)
+	cl, err := serve.DialClientProto(addr, a.proto)
 	if err != nil {
 		fail(err)
 	}
-	defer conn.Close()
+	defer cl.Close()
 
 	switch {
 	case a.stats:
-		resp := must(serve.Do(conn, &serve.Request{Op: serve.OpStats}))
+		resp := must(cl.Do(&serve.Request{Op: serve.OpStats}))
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(resp.Server); err != nil {
@@ -260,15 +266,15 @@ func runClient(addr string, a clientArgs) {
 
 	case a.ping:
 		start := time.Now()
-		must(serve.Do(conn, &serve.Request{Op: serve.OpPing}))
-		fmt.Printf("squashd at %s is up (%s)\n", addr, time.Since(start).Round(time.Microsecond))
+		must(cl.Do(&serve.Request{Op: serve.OpPing}))
+		fmt.Printf("squashd at %s is up, proto v%d (%s)\n", addr, cl.Proto(), time.Since(start).Round(time.Microsecond))
 
 	case a.batch != "":
-		runBatch(conn, a)
+		runBatch(cl, a)
 
 	case a.bench != "":
-		resp := must(serve.Do(conn, &serve.Request{
-			Op: serve.OpBench, Bench: a.bench, Scale: a.scale, Config: &a.conf,
+		resp := must(cl.Do(&serve.Request{
+			Op: serve.OpBench, Bench: a.bench, Scale: a.scale, Config: &a.conf, NoImage: a.noImage,
 		}))
 		name := a.out
 		if name == "" {
@@ -288,8 +294,8 @@ func runClient(addr string, a clientArgs) {
 		if err != nil {
 			fail(err)
 		}
-		resp := must(serve.Do(conn, &serve.Request{
-			Op: serve.OpSquash, Obj: objBytes, Profile: profBytes, Config: &a.conf,
+		resp := must(cl.Do(&serve.Request{
+			Op: serve.OpSquash, Obj: objBytes, Profile: profBytes, Config: &a.conf, NoImage: a.noImage,
 		}))
 		name := a.out
 		if name == "" {
@@ -304,7 +310,7 @@ func runClient(addr string, a clientArgs) {
 // a bench name or an OBJ:PROFILE file pair (detected by the colon). Any
 // failed item is reported and the exit status is nonzero, but sibling
 // images are still written — per-object isolation end to end.
-func runBatch(conn net.Conn, a clientArgs) {
+func runBatch(cl *serve.Client, a clientArgs) {
 	var items []serve.BatchItem
 	for _, spec := range strings.Split(a.batch, ",") {
 		spec = strings.TrimSpace(spec)
@@ -325,7 +331,7 @@ func runBatch(conn net.Conn, a clientArgs) {
 			items = append(items, serve.BatchItem{Bench: spec, Scale: a.scale, Config: &a.conf})
 		}
 	}
-	resp := must(serve.Do(conn, &serve.Request{Op: serve.OpBatch, Items: items}))
+	resp := must(cl.Do(&serve.Request{Op: serve.OpBatch, Items: items, NoImage: a.noImage}))
 	if len(resp.Results) != len(items) {
 		fail(fmt.Errorf("batch returned %d results for %d items", len(resp.Results), len(items)))
 	}
@@ -337,8 +343,12 @@ func runBatch(conn net.Conn, a clientArgs) {
 			continue
 		}
 		name := filepath.Join(a.outDir, fmt.Sprintf("batch-%02d.sqz.exe", i))
-		if err := os.WriteFile(name, r.Image, 0o644); err != nil {
-			fail(err)
+		if len(r.Image) > 0 {
+			if err := os.WriteFile(name, r.Image, 0o644); err != nil {
+				fail(err)
+			}
+		} else {
+			name = fmt.Sprintf("batch item %d (image omitted)", i)
 		}
 		src := "computed"
 		switch {
@@ -356,8 +366,12 @@ func runBatch(conn net.Conn, a clientArgs) {
 }
 
 func writeImage(name string, resp *serve.Response) {
-	if err := os.WriteFile(name, resp.Image, 0o644); err != nil {
-		fail(err)
+	if len(resp.Image) > 0 {
+		if err := os.WriteFile(name, resp.Image, 0o644); err != nil {
+			fail(err)
+		}
+	} else {
+		name = "(image omitted)"
 	}
 	st := resp.Stats
 	src := "computed"

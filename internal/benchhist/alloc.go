@@ -55,6 +55,13 @@ func DefaultAllocGates() []AllocGate {
 		// one exact-size copy the cache retains (1 vs 3 allocs/op).
 		{Name: "request-scratch", Pooled: "BenchmarkRequestScratch/pooled", Fresh: "BenchmarkRequestScratch/fresh",
 			MaxPooledAllocs: 2, MinRatio: 2},
+		// Frame codec: one warm cache-hit squash exchange, server side (v2
+		// read+decode+respond vs the v1 JSON/base64 codec). v2's pooled
+		// buffers, zero-copy sections, and pooled envelope decoder run the
+		// whole exchange allocation-free (0 vs 9 allocs/op); the ceiling of
+		// 2 leaves room for pool warm-up and rounding only.
+		{Name: "frame-codec", Pooled: "BenchmarkFrameCodecAlloc/v2", Fresh: "BenchmarkFrameCodecAlloc/v1",
+			MaxPooledAllocs: 2, MinRatio: 3},
 	}
 }
 

@@ -19,7 +19,12 @@ const sampleReport = `{
   "obj_per_sec": 44.0,
   "latency_ms": {"p50": 1.2, "p90": 40.1, "p99": 85.0, "max": 120.5, "mean": 9.3},
   "cache_hit_rate": 0.91,
-  "prep_hit_rate": 1.0
+  "prep_hit_rate": 1.0,
+  "proto": 2,
+  "bytes_in": 5242880,
+  "bytes_out": 1048576,
+  "bytes_in_per_sec": 4194304.0,
+  "bytes_out_per_sec": 838860.8
 }`
 
 func TestLoadEntriesExtractsGatedMetrics(t *testing.T) {
@@ -32,11 +37,13 @@ func TestLoadEntriesExtractsGatedMetrics(t *testing.T) {
 		t.Fatalf("entries = %d, want %d", len(entries), len(gates))
 	}
 	want := map[string]float64{
-		"load-req-s":     32.0,
-		"load-p50-ms":    1.2,
-		"load-p99-ms":    85.0,
-		"load-cache-hit": 0.91,
-		"load-errors":    0,
+		"load-req-s":       32.0,
+		"load-p50-ms":      1.2,
+		"load-p99-ms":      85.0,
+		"load-cache-hit":   0.91,
+		"load-errors":      0,
+		"load-bytes-in-s":  4194304.0,
+		"load-bytes-out-s": 838860.8,
 	}
 	for _, e := range entries {
 		if e.Commit != "c0ffee" || e.Date != "2026-08-09" {

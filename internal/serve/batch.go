@@ -51,7 +51,7 @@ func (s *Server) processBatch(req *Request) *Response {
 	// Never returns an error: each group's failure lands in its own resp.
 	parallel.ForEach(len(groups), s.opts.Workers, func(gi int) error {
 		g := groups[gi]
-		g.resp = s.processItem(&items[g.first])
+		g.resp = s.processItem(&items[g.first], req.NoImage)
 		return nil
 	})
 
@@ -74,12 +74,13 @@ func (s *Server) processBatch(req *Request) *Response {
 
 // processItem runs one batch item through the same code path as its
 // one-shot op, so per-object behavior (validation, caching, byte output)
-// cannot drift between batch and single-request serving.
-func (s *Server) processItem(it *BatchItem) *Response {
+// cannot drift between batch and single-request serving. The frame-level
+// NoImage flag applies to every item.
+func (s *Server) processItem(it *BatchItem, noImage bool) *Response {
 	if it.Bench != "" {
-		return s.process(&Request{Op: OpBench, Bench: it.Bench, Scale: it.Scale, Config: it.Config})
+		return s.process(&Request{Op: OpBench, Bench: it.Bench, Scale: it.Scale, Config: it.Config, NoImage: noImage})
 	}
-	return s.process(&Request{Op: OpSquash, Obj: it.Obj, Profile: it.Profile, Config: it.Config})
+	return s.process(&Request{Op: OpSquash, Obj: it.Obj, Profile: it.Profile, Config: it.Config, NoImage: noImage})
 }
 
 // dedupKey identifies items whose squash results are necessarily

@@ -2,7 +2,6 @@ package serve
 
 import (
 	"fmt"
-	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -50,6 +49,14 @@ type LoadOptions struct {
 	// default.
 	Config *core.Config
 
+	// NoImage sets the stats-only flag on every generated request, taking
+	// image payload transfer off the wire (recorded entries that already
+	// carry the flag keep it either way).
+	NoImage bool
+	// Proto pins the client protocol version (1 or 2); 0 negotiates,
+	// landing on v2 against a current daemon.
+	Proto int
+
 	// Logf receives progress lines; nil is silent.
 	Logf func(format string, args ...any)
 }
@@ -91,6 +98,22 @@ type LoadReport struct {
 	// over lookups of the squash-result and prep caches.
 	CacheHitRate float64 `json:"cache_hit_rate"`
 	PrepHitRate  float64 `json:"prep_hit_rate"`
+	// Proto is the wire protocol version the load connections spoke.
+	Proto int `json:"proto,omitempty"`
+	// Wire throughput: bytes crossing the load connections (both
+	// directions, headers and envelopes included; the stats probes before
+	// and after the run are not counted).
+	BytesIn        int64   `json:"bytes_in"`
+	BytesOut       int64   `json:"bytes_out"`
+	BytesInPerSec  float64 `json:"bytes_in_per_sec"`
+	BytesOutPerSec float64 `json:"bytes_out_per_sec"`
+}
+
+// wireTotals accumulates the wire-byte counters of every load connection
+// as each worker's client closes.
+type wireTotals struct {
+	in, out atomic.Int64
+	proto   atomic.Int64
 }
 
 // loadJob is one scheduled request: tMs is its recorded arrival offset
@@ -153,18 +176,19 @@ func (o *LoadOptions) replayRequest(e *RecordEntry) (*Request, int, bool) {
 		}
 		return BatchItem{}, false
 	}
+	noImage := e.NoImage || o.NoImage
 	switch e.Op {
 	case OpBench:
-		return &Request{Op: OpBench, Bench: e.Bench, Scale: e.Scale, Config: e.Config}, 1, true
+		return &Request{Op: OpBench, Bench: e.Bench, Scale: e.Scale, Config: e.Config, NoImage: noImage}, 1, true
 	case OpSquash:
 		it, ok := inline()
 		if !ok {
 			return nil, 0, false
 		}
 		if it.Bench != "" {
-			return &Request{Op: OpBench, Bench: it.Bench, Scale: it.Scale, Config: e.Config}, 1, true
+			return &Request{Op: OpBench, Bench: it.Bench, Scale: it.Scale, Config: e.Config, NoImage: noImage}, 1, true
 		}
-		return &Request{Op: OpSquash, Obj: it.Obj, Profile: it.Profile, Config: e.Config}, 1, true
+		return &Request{Op: OpSquash, Obj: it.Obj, Profile: it.Profile, Config: e.Config, NoImage: noImage}, 1, true
 	case OpBatch:
 		items := make([]BatchItem, 0, len(e.Items))
 		for _, ri := range e.Items {
@@ -180,7 +204,7 @@ func (o *LoadOptions) replayRequest(e *RecordEntry) (*Request, int, bool) {
 		if len(items) == 0 {
 			return nil, 0, false
 		}
-		return &Request{Op: OpBatch, Items: items}, len(items), true
+		return &Request{Op: OpBatch, Items: items, NoImage: noImage}, len(items), true
 	}
 	return nil, 0, false
 }
@@ -216,12 +240,12 @@ func (o *LoadOptions) syntheticRequest() *Request {
 		for i := range items {
 			items[i] = item
 		}
-		return &Request{Op: OpBatch, Items: items}
+		return &Request{Op: OpBatch, Items: items, NoImage: o.NoImage}
 	}
 	if item.Bench != "" {
-		return &Request{Op: OpBench, Bench: item.Bench, Scale: item.Scale, Config: item.Config}
+		return &Request{Op: OpBench, Bench: item.Bench, Scale: item.Scale, Config: item.Config, NoImage: o.NoImage}
 	}
-	return &Request{Op: OpSquash, Obj: item.Obj, Profile: item.Profile, Config: item.Config}
+	return &Request{Op: OpSquash, Obj: item.Obj, Profile: item.Profile, Config: item.Config, NoImage: o.NoImage}
 }
 
 // run drives an open-loop schedule: dueAt(start, i) gives job i's send
@@ -240,6 +264,7 @@ func (o *LoadOptions) run(mode string, jobs []loadJob, dueAt func(start time.Tim
 
 	hist := obs.NewHistogram(1 << 16)
 	var errors atomic.Int64
+	var wire wireTotals
 	ch := make(chan loadJob, len(jobs))
 	start := time.Now()
 	go func() {
@@ -260,7 +285,7 @@ func (o *LoadOptions) run(mode string, jobs []loadJob, dueAt func(start time.Tim
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			o.worker(ch, hist, &errors)
+			o.worker(ch, hist, &errors, &wire)
 		}()
 	}
 	wg.Wait()
@@ -276,7 +301,7 @@ func (o *LoadOptions) run(mode string, jobs []loadJob, dueAt func(start time.Tim
 		requests++
 		objects += j.objects
 	}
-	return o.report(mode, conns, requests, objects, int(errors.Load()), wall, hist, before, after), nil
+	return o.report(mode, conns, requests, objects, int(errors.Load()), wall, hist, before, after, &wire), nil
 }
 
 // runClosed drives the closed-loop synthetic mode.
@@ -292,6 +317,7 @@ func (o *LoadOptions) runClosed(req *Request, objectsPer, budget int, duration t
 
 	hist := obs.NewHistogram(1 << 16)
 	var errors, sent atomic.Int64
+	var wire wireTotals
 	var deadline time.Time
 	start := time.Now()
 	if budget <= 0 {
@@ -318,7 +344,7 @@ func (o *LoadOptions) runClosed(req *Request, objectsPer, budget int, duration t
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			o.worker(ch, hist, &errors)
+			o.worker(ch, hist, &errors, &wire)
 		}()
 	}
 	wg.Wait()
@@ -329,35 +355,42 @@ func (o *LoadOptions) runClosed(req *Request, objectsPer, budget int, duration t
 		return nil, fmt.Errorf("serve: load target %s: %w", o.Addr, err)
 	}
 	requests := int(hist.Count()) + int(errors.Load())
-	return o.report("synthetic", conns, requests, requests*objectsPer, int(errors.Load()), wall, hist, before, after), nil
+	return o.report("synthetic", conns, requests, requests*objectsPer, int(errors.Load()), wall, hist, before, after, &wire), nil
 }
 
-// worker drains jobs over one connection, redialing once per transport
-// failure so a single dropped connection does not zero out a run.
-func (o *LoadOptions) worker(ch <-chan loadJob, hist *obs.Histogram, errCount *atomic.Int64) {
-	var conn net.Conn
-	defer func() {
-		if conn != nil {
-			conn.Close()
+// worker drains jobs over one client connection, redialing once per
+// transport failure so a single dropped connection does not zero out a
+// run. The client's wire-byte counters flush into the run totals whenever
+// its connection closes.
+func (o *LoadOptions) worker(ch <-chan loadJob, hist *obs.Histogram, errCount *atomic.Int64, wire *wireTotals) {
+	var cl *Client
+	closeClient := func() {
+		if cl == nil {
+			return
 		}
-	}()
+		wire.in.Add(cl.BytesIn())
+		wire.out.Add(cl.BytesOut())
+		wire.proto.Store(int64(cl.Proto()))
+		cl.Close()
+		cl = nil
+	}
+	defer closeClient()
 	for j := range ch {
-		if conn == nil {
-			c, err := Dial(o.Addr)
+		if cl == nil {
+			c, err := DialClientProto(o.Addr, o.Proto)
 			if err != nil {
 				errCount.Add(1)
 				continue
 			}
-			conn = c
+			cl = c
 		}
 		from := j.due
 		if from.IsZero() {
 			from = time.Now()
 		}
-		resp, err := Do(conn, j.req)
+		resp, err := cl.Do(j.req)
 		if err != nil {
-			conn.Close()
-			conn = nil
+			closeClient()
 			errCount.Add(1)
 			continue
 		}
@@ -382,7 +415,7 @@ func (o *LoadOptions) worker(ch <-chan loadJob, hist *obs.Histogram, errCount *a
 	}
 }
 
-func (o *LoadOptions) report(mode string, conns, requests, objects, errCount int, wall time.Duration, hist *obs.Histogram, before, after *Snapshot) *LoadReport {
+func (o *LoadOptions) report(mode string, conns, requests, objects, errCount int, wall time.Duration, hist *obs.Histogram, before, after *Snapshot, wire *wireTotals) *LoadReport {
 	qs := hist.Quantiles(0.50, 0.90, 0.99, 1.0)
 	mean := 0.0
 	if n := hist.Count(); n > 0 {
@@ -397,9 +430,14 @@ func (o *LoadOptions) report(mode string, conns, requests, objects, errCount int
 		DurationSec: wall.Seconds(),
 		Latency:     LoadLatency{P50: qs[0], P90: qs[1], P99: qs[2], Max: qs[3], Mean: mean},
 	}
+	rep.Proto = int(wire.proto.Load())
+	rep.BytesIn = wire.in.Load()
+	rep.BytesOut = wire.out.Load()
 	if s := wall.Seconds(); s > 0 {
 		rep.ReqPerSec = float64(requests) / s
 		rep.ObjPerSec = float64(objects) / s
+		rep.BytesInPerSec = float64(rep.BytesIn) / s
+		rep.BytesOutPerSec = float64(rep.BytesOut) / s
 	}
 	rep.CacheHitRate = hitRateDelta(before.SquashCacheHits, after.SquashCacheHits,
 		before.SquashCacheMisses, after.SquashCacheMisses)

@@ -9,11 +9,15 @@
 // object, profile, and configuration, the returned image is identical to
 // the one-shot tool's output file, at any request concurrency.
 //
-// Wire protocol: length-prefixed JSON frames. Each frame is a 4-byte
+// Wire protocol: two framings, negotiated per connection by the first
+// client frame. Protocol v1 is length-prefixed JSON — a 4-byte
 // little-endian byte count followed by one JSON document (a Request from
-// client to server, a Response back). A connection carries any number of
-// request/response pairs in sequence; concurrency comes from opening
-// multiple connections.
+// client to server, a Response back). Protocol v2 (see frame.go) keeps a
+// JSON envelope for the small fields but moves every []byte payload into a
+// raw binary trailer referenced by (offset, length) sections, eliminating
+// base64 from the hot path. A connection carries any number of
+// request/response pairs in sequence, all in the version its first frame
+// latched; concurrency comes from opening multiple connections.
 package serve
 
 import (
@@ -73,8 +77,29 @@ type Request struct {
 	Bench string  `json:"bench,omitempty"`
 	Scale float64 `json:"scale,omitempty"`
 
+	// NoImage asks the server to omit image bytes from the response (and
+	// from every batch result). Stats, footprints, and cache flags are
+	// unaffected, and the squash still runs and warms the result cache —
+	// only the wire bytes are skipped. Load tests and re-squash probes
+	// that never look at the image use this to take payload transfer out
+	// of the measurement.
+	NoImage bool `json:"no_image,omitempty"`
+
 	// OpBatch: the objects of this frame, at most MaxBatchItems.
 	Items []BatchItem `json:"items,omitempty"`
+
+	// fb is the pooled v2 frame buffer this request's payload slices alias
+	// (nil for v1 requests, which copy during JSON decode). The dispatch
+	// path releases it once the request can no longer be read.
+	fb *frameBuf
+}
+
+// releasePayload recycles the frame buffer backing Obj, Profile, and the
+// batch item payloads. Call only when no reference to those slices can
+// still be read — i.e. after process() returns, not when a timed-out
+// response is sent. Idempotent; a no-op for v1 requests.
+func (r *Request) releasePayload() {
+	r.fb.release()
 }
 
 // BatchItem is one object inside an OpBatch frame. Either Bench names a
@@ -131,27 +156,40 @@ type Response struct {
 
 	// Server carries the OpStats snapshot.
 	Server *Snapshot `json:"server,omitempty"`
+
+	// ProtoMax is set on version-negotiation error responses: the highest
+	// protocol version the server speaks. A client that opened with a
+	// newer version downgrades and resends.
+	ProtoMax int `json:"proto_max,omitempty"`
 }
 
-// WriteFrame marshals v and writes one length-prefixed frame.
+// WriteFrame marshals v and writes one length-prefixed v1 frame. Header
+// and body are staged in a pooled buffer and issued as a single Write, so
+// a TCP frame never splits into a 4-byte packet plus body under Nagle.
 func WriteFrame(w io.Writer, v any) error {
-	body, err := json.Marshal(v)
-	if err != nil {
+	sc := getFrameScratch()
+	defer putFrameScratch(sc)
+	sc.env.Reset()
+	sc.env.Write([]byte{0, 0, 0, 0}) // length patched below
+	if err := sc.enc.Encode(v); err != nil {
 		return fmt.Errorf("serve: marshal frame: %w", err)
 	}
-	if len(body) > MaxFrame {
-		return fmt.Errorf("serve: frame of %d bytes exceeds limit %d", len(body), MaxFrame)
+	frame := sc.env.Bytes()
+	if n := len(frame); n > 0 && frame[n-1] == '\n' {
+		frame = frame[:n-1] // Encoder's newline is not part of the frame
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+	body := len(frame) - 4
+	if body > MaxFrame {
+		return fmt.Errorf("serve: frame of %d bytes exceeds limit %d", body, MaxFrame)
 	}
-	_, err = w.Write(body)
+	binary.LittleEndian.PutUint32(frame[:4], uint32(body))
+	_, err := w.Write(frame)
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame into v.
+// ReadFrame reads one length-prefixed v1 frame into v. The body passes
+// through a pooled buffer; JSON decode copies every field, so nothing in v
+// aliases it afterwards.
 func ReadFrame(r io.Reader, v any) error {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -161,7 +199,9 @@ func ReadFrame(r io.Reader, v any) error {
 	if n > MaxFrame {
 		return fmt.Errorf("serve: frame of %d bytes exceeds limit %d", n, MaxFrame)
 	}
-	body := make([]byte, n)
+	fb := getFrameBuf(int(n))
+	defer fb.release()
+	body := fb.data[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
 		return err
 	}
@@ -172,10 +212,23 @@ func ReadFrame(r io.Reader, v any) error {
 }
 
 // Dial connects to a daemon address: "unix:/path/to.sock", "tcp:host:port",
-// or a bare "host:port" (TCP).
+// or a bare "host:port" (TCP). TCP connections get TCP_NODELAY: every
+// frame is written whole, so there is never a small packet worth delaying.
 func Dial(addr string) (net.Conn, error) {
 	network, address := SplitAddr(addr)
-	return net.Dial(network, address)
+	conn, err := net.Dial(network, address)
+	if err != nil {
+		return nil, err
+	}
+	setNoDelay(conn)
+	return conn, nil
+}
+
+// setNoDelay disables Nagle on TCP connections (no-op otherwise).
+func setNoDelay(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
 }
 
 // SplitAddr resolves an address spec into (network, address) for net.Dial /

@@ -21,14 +21,15 @@ import (
 // not recorded — a production stream must stay cheap to capture — so inline
 // entries replay only through a fallback payload the replayer supplies.
 type RecordEntry struct {
-	TMs    float64      `json:"t_ms"`
-	Op     string       `json:"op"`
-	Key    string       `json:"key,omitempty"`   // content hash of an inline object+profile
-	Bytes  int          `json:"bytes,omitempty"` // inline payload size
-	Bench  string       `json:"bench,omitempty"`
-	Scale  float64      `json:"scale,omitempty"`
-	Config *core.Config `json:"config,omitempty"`
-	Items  []RecordItem `json:"items,omitempty"` // batch frames
+	TMs     float64      `json:"t_ms"`
+	Op      string       `json:"op"`
+	Key     string       `json:"key,omitempty"`   // content hash of an inline object+profile
+	Bytes   int          `json:"bytes,omitempty"` // inline payload size
+	Bench   string       `json:"bench,omitempty"`
+	Scale   float64      `json:"scale,omitempty"`
+	NoImage bool         `json:"no_image,omitempty"` // stats-only request
+	Config  *core.Config `json:"config,omitempty"`
+	Items   []RecordItem `json:"items,omitempty"` // batch frames
 }
 
 // RecordItem is one object of a recorded batch frame.
@@ -77,9 +78,10 @@ func (r *StreamRecorder) Record(req *Request) {
 
 func entryForRequest(req *Request, off time.Duration) *RecordEntry {
 	e := &RecordEntry{
-		TMs:    float64(off) / float64(time.Millisecond),
-		Op:     req.Op,
-		Config: req.Config,
+		TMs:     float64(off) / float64(time.Millisecond),
+		Op:      req.Op,
+		NoImage: req.NoImage,
+		Config:  req.Config,
 	}
 	switch req.Op {
 	case OpSquash:

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"errors"
@@ -53,6 +52,12 @@ type Options struct {
 	// or a recorder without a registry — gets a private metrics-only
 	// recorder so the /metrics exports always work.
 	Obs *obs.Recorder
+	// MaxProto caps the wire protocol version the server accepts; 0 (or
+	// anything out of range) means MaxProtoVersion. Capping to 1 makes the
+	// daemon behave like a pre-v2 build for compatibility testing: v2
+	// openings get a proto_max error response and the connection survives
+	// for the client's downgraded resend.
+	MaxProto int
 }
 
 // Server is the squash daemon.
@@ -187,26 +192,45 @@ func (s *Server) removeConn(cs *connState) {
 
 func (s *Server) handleConn(cs *connState) {
 	defer s.removeConn(cs)
-	br := bufio.NewReader(cs.c)
+	setNoDelay(cs.c)
+	codec := newServerCodec(cs.c, cs.c, s.opts.MaxProto)
+	defer codec.close()
+	counted := false
 	for {
 		var req Request
-		if err := ReadFrame(br, &req); err != nil {
+		if err := codec.readRequest(&req); err != nil {
+			var pe *protoError
+			if errors.As(err, &pe) {
+				// A protocol violation or version miss gets an explicit
+				// error frame (v1: the framing every client reads) before
+				// the connection closes — or, for a recoverable version
+				// miss, survives for the client's downgraded resend.
+				resp := &Response{Err: pe.msg, ProtoMax: pe.max}
+				if werr := codec.writeResponse(resp); werr == nil && !pe.fatal {
+					continue
+				}
+			}
 			// EOF, client close, or the shutdown close of an idle
 			// connection all end the session here.
 			return
+		}
+		if !counted {
+			s.met.proto(codec.ver)
+			counted = true
 		}
 		cs.mu.Lock()
 		if cs.draining {
 			// Shutdown won the race while the frame was in transit; the
 			// request was never in flight, so it is not served.
 			cs.mu.Unlock()
+			req.releasePayload()
 			return
 		}
 		cs.busy = true
 		cs.mu.Unlock()
 
 		resp := s.dispatch(&req)
-		err := WriteFrame(cs.c, resp)
+		err := codec.writeResponse(resp)
 
 		cs.mu.Lock()
 		cs.busy = false
@@ -234,8 +258,10 @@ func (s *Server) dispatch(req *Request) *Response {
 		// Served inline: the stats endpoint must answer even when every
 		// worker is busy — that is exactly when an operator asks.
 		resp = &Response{OK: true, Server: s.met.snapshot()}
+		req.releasePayload()
 	case OpPing:
 		resp = &Response{OK: true}
+		req.releasePayload()
 	default:
 		resp, timedOut = s.dispatchWork(req)
 	}
@@ -283,7 +309,17 @@ func (s *Server) dispatchWork(req *Request) (*Response, bool) {
 		defer cancel()
 	}
 	done := make(chan *Response, 1) // buffered: a late worker never blocks
-	if err := s.pool.Submit(ctx, func() { done <- s.process(req) }); err != nil {
+	// The frame buffer backing a v2 request's payload recycles when the
+	// worker finishes — not when the response is sent — because a timed-out
+	// request's worker keeps reading the payload after the error response.
+	if err := s.pool.Submit(ctx, func() {
+		resp := s.process(req)
+		req.releasePayload()
+		done <- resp
+	}); err != nil {
+		// Submit failed, so the closure will never run: the payload is
+		// released here instead.
+		req.releasePayload()
 		if err == parallel.ErrPoolClosed {
 			return errResponse("server shutting down"), false
 		}
@@ -313,7 +349,7 @@ func (s *Server) process(req *Request) *Response {
 		if len(req.Obj) == 0 || len(req.Profile) == 0 {
 			return errResponse("squash request needs obj and profile bytes")
 		}
-		return s.squash(req.Obj, req.Profile, conf, false)
+		return s.squash(req.Obj, req.Profile, conf, false, req.NoImage)
 	case OpBench:
 		scale := req.Scale
 		if scale == 0 {
@@ -337,7 +373,7 @@ func (s *Server) process(req *Request) *Response {
 		if _, err := b.Profile.WriteTo(&sc.prof); err != nil {
 			return errResponse(err.Error())
 		}
-		resp := s.squash(sc.obj.Bytes(), sc.prof.Bytes(), conf, prepHit)
+		resp := s.squash(sc.obj.Bytes(), sc.prof.Bytes(), conf, prepHit, req.NoImage)
 		return resp
 	case OpBatch:
 		return s.processBatch(req)
@@ -348,14 +384,20 @@ func (s *Server) process(req *Request) *Response {
 
 // squash answers from the warm result cache or runs the pipeline and fills
 // it. The cached image bytes are exactly what the fresh path serializes, so
-// hit and miss responses are byte-identical.
-func (s *Server) squash(objBytes, profBytes []byte, conf core.Config, prepHit bool) *Response {
+// hit and miss responses are byte-identical. noImage strips the image from
+// the response only: the squash still runs, the cache still warms, and
+// stats/footprint report exactly as with the image attached.
+func (s *Server) squash(objBytes, profBytes []byte, conf core.Config, prepHit, noImage bool) *Response {
 	key := resultKey(objBytes, profBytes, conf)
 	if e, ok := s.cache.get(key); ok {
 		s.met.squashCache(true)
 		stats, foot := e.stats, e.foot
-		return &Response{OK: true, Image: e.image, Stats: &stats, Foot: &foot,
+		resp := &Response{OK: true, Image: e.image, Stats: &stats, Foot: &foot,
 			Cached: true, PrepCached: prepHit}
+		if noImage {
+			resp.Image = nil
+		}
+		return resp
 	}
 	s.met.squashCache(false)
 
@@ -382,8 +424,12 @@ func (s *Server) squash(objBytes, profBytes []byte, conf core.Config, prepHit bo
 	s.cache.put(&cacheEntry{key: key, image: image, stats: out.Stats, foot: out.Foot})
 	s.met.resEntries.Set(int64(s.cache.len()))
 	stats, foot := out.Stats, out.Foot
-	return &Response{OK: true, Image: image, Stats: &stats, Foot: &foot,
+	resp := &Response{OK: true, Image: image, Stats: &stats, Foot: &foot,
 		PrepCached: prepHit}
+	if noImage {
+		resp.Image = nil
+	}
+	return resp
 }
 
 // Shutdown stops accepting connections, drains in-flight requests, and

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -27,6 +28,8 @@ type metrics struct {
 	prepHits, prepMisses     uint64
 
 	batchFrames, batchObjects, batchShared uint64
+
+	protoConns map[string]uint64
 
 	inFlight int
 
@@ -126,6 +129,19 @@ func (m *metrics) prepCache(hit bool) {
 	}
 }
 
+// proto records the protocol version a connection latched with its first
+// frame (one count per connection, not per frame).
+func (m *metrics) proto(ver int) {
+	label := fmt.Sprintf("v%d", ver)
+	m.mu.Lock()
+	if m.protoConns == nil {
+		m.protoConns = map[string]uint64{}
+	}
+	m.protoConns[label]++
+	m.mu.Unlock()
+	m.reg.Counter("squashd_proto_conns_total", obs.L("proto", label)).Inc()
+}
+
 // batch records one OpBatch frame: how many objects it carried and how
 // many were within-batch duplicates served from a sibling's result.
 func (m *metrics) batch(objects, shared int) {
@@ -168,6 +184,10 @@ type Snapshot struct {
 	BatchObjects uint64 `json:"batch_objects"`
 	BatchShared  uint64 `json:"batch_shared"`
 
+	// ProtoConns counts connections by the wire-protocol version their
+	// first frame latched ("v1", "v2").
+	ProtoConns map[string]uint64 `json:"proto_conns,omitempty"`
+
 	Latency Latency `json:"latency"`
 }
 
@@ -189,6 +209,12 @@ func (m *metrics) snapshot() *Snapshot {
 	}
 	for op, n := range m.requests {
 		s.Requests[op] = n
+	}
+	if len(m.protoConns) > 0 {
+		s.ProtoConns = map[string]uint64{}
+		for v, n := range m.protoConns {
+			s.ProtoConns[v] = n
+		}
 	}
 	m.mu.Unlock()
 

@@ -4,8 +4,9 @@
 # Each pooled hot path ships a paired benchmark that measures the same work
 # with pools enabled and with pools bypassed the way the code allocated
 # before pooling (BenchmarkBitIOAlloc/{pooled,fresh}, BenchmarkRegionEncode-
-# Alloc, BenchmarkLZTokenDecodeAlloc, BenchmarkRequestScratch). This script
-# runs all four with -benchmem; CI pipes the output into
+# Alloc, BenchmarkLZTokenDecodeAlloc, BenchmarkRequestScratch, and
+# BenchmarkFrameCodecAlloc — the v2/v1 wire codec pair). This script runs
+# them all with -benchmem; CI pipes the output into
 #
 #   go run ./cmd/benchhist -allocs alloc.txt
 #
@@ -24,6 +25,6 @@ COUNT="${COUNT:-3}"
 BENCHTIME="${BENCHTIME:-200x}"
 
 go test -run '^$' \
-  -bench 'BenchmarkBitIOAlloc|BenchmarkRegionEncodeAlloc|BenchmarkLZTokenDecodeAlloc|BenchmarkRequestScratch' \
+  -bench 'BenchmarkBitIOAlloc|BenchmarkRegionEncodeAlloc|BenchmarkLZTokenDecodeAlloc|BenchmarkRequestScratch|BenchmarkFrameCodecAlloc' \
   -benchtime "$BENCHTIME" -count "$COUNT" -benchmem \
   ./internal/huffman/ ./internal/streamcomp/ ./internal/lzcomp/ ./internal/serve/
