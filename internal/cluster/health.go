@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/serve"
+)
+
+// healthLoop probes every backend on a fixed interval until Stop. The
+// first round runs immediately so the admin plane has per-backend stats
+// (and a dead backend is discovered) within CheckTimeout of startup
+// rather than a full interval later.
+func (r *Router) healthLoop() {
+	defer r.wg.Done()
+	t := time.NewTicker(r.cfg.CheckInterval)
+	defer t.Stop()
+	r.probeAll()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.probeAll()
+		}
+	}
+}
+
+// probeAll checks every backend concurrently — one stuck backend must not
+// delay the others' probes — and returns when the round completes.
+func (r *Router) probeAll() {
+	done := make(chan struct{}, len(r.backends))
+	for _, b := range r.backends {
+		go func(b *Backend) {
+			r.probe(b)
+			done <- struct{}{}
+		}(b)
+	}
+	for range r.backends {
+		<-done
+	}
+}
+
+// probe runs one health check — an OpStats exchange bounded by
+// CheckTimeout — and folds the outcome into the backend's state: success
+// resets the failure streak (reviving a down backend) and refreshes the
+// stored stats snapshot; failure counts toward the down threshold.
+// Draining and down backends are probed like any other, so drain state
+// tracks real health and a recovered backend rejoins without operator
+// action. Returns the backend's fresh snapshot when the probe succeeded.
+func (r *Router) probe(b *Backend) (*serve.Snapshot, error) {
+	c, err := b.pool.Get()
+	if err != nil {
+		r.noteFailed(b, err)
+		return nil, err
+	}
+	if r.cfg.CheckTimeout > 0 {
+		c.SetDeadline(time.Now().Add(r.cfg.CheckTimeout))
+	}
+	resp, err := c.Do(&serve.Request{Op: serve.OpStats})
+	if err != nil {
+		c.Close()
+		r.noteFailed(b, err)
+		return nil, err
+	}
+	c.SetDeadline(time.Time{})
+	b.pool.Put(c)
+	if b.noteSuccess() {
+		r.logf("backend %s up (probe recovered)", b.Addr)
+	}
+	b.recordProbe(time.Now(), resp.Server)
+	return resp.Server, nil
+}
+
+// noteFailed records a failed probe or forward and logs the up→down
+// transition when the consecutive-failure threshold is crossed.
+func (r *Router) noteFailed(b *Backend, err error) {
+	if b.noteFailure(r.cfg.FailAfter) {
+		r.logf("backend %s down after %d consecutive failures: %v", b.Addr, r.cfg.FailAfter, err)
+	}
+}

@@ -95,15 +95,26 @@ func (h *Histogram) Quantile(q float64) float64 {
 // Quantiles answers several quantiles with one sort of the window. The
 // result always has len(qs) entries; an empty window yields all zeros.
 func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	_, out := h.WindowQuantiles(qs...)
+	return out
+}
+
+// WindowQuantiles answers the window sample count and the requested
+// quantiles from one consistent view of the window: both come from the
+// same locked copy, so a concurrent Observe can never make the count
+// disagree with the percentiles (count > 0 with all-zero quantiles, or
+// vice versa). Callers that report count and percentiles together must
+// use this instead of separate WindowCount/Quantiles calls.
+func (h *Histogram) WindowQuantiles(qs ...float64) (int, []float64) {
 	out := make([]float64, len(qs))
 	if h == nil {
-		return out
+		return 0, out
 	}
 	h.mu.Lock()
 	ds := append([]float64(nil), h.window[:h.filled]...)
 	h.mu.Unlock()
 	if len(ds) == 0 {
-		return out
+		return 0, out
 	}
 	sort.Float64s(ds)
 	for i, q := range qs {
@@ -115,5 +126,5 @@ func (h *Histogram) Quantiles(qs ...float64) []float64 {
 		}
 		out[i] = ds[int(q*float64(len(ds)-1))]
 	}
-	return out
+	return len(ds), out
 }

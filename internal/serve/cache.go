@@ -16,12 +16,16 @@ import (
 // Squash is deterministic for a given key, so serving a cached image is
 // byte-identical to recomputing it; the cache only ever changes latency.
 // Bounded LRU so a daemon fed a stream of distinct programs stays flat in
-// memory.
+// memory: by entry count always, and additionally by total image bytes
+// when a byte budget is set — entry counts alone let a stream of large
+// distinct images grow memory without bound.
 type resultCache struct {
-	mu      sync.Mutex
-	cap     int
-	order   *list.List // front = most recently used
-	entries map[[32]byte]*list.Element
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64      // 0 = no byte budget
+	bytes    int64      // sum of len(image) across resident entries
+	order    *list.List // front = most recently used
+	entries  map[[32]byte]*list.Element
 }
 
 type cacheEntry struct {
@@ -31,8 +35,9 @@ type cacheEntry struct {
 	foot  core.Footprint
 }
 
-func newResultCache(capacity int) *resultCache {
-	return &resultCache{cap: capacity, order: list.New(), entries: map[[32]byte]*list.Element{}}
+func newResultCache(capacity int, maxBytes int64) *resultCache {
+	return &resultCache{cap: capacity, maxBytes: maxBytes,
+		order: list.New(), entries: map[[32]byte]*list.Element{}}
 }
 
 // resultKey hashes everything the squash output depends on. Worker counts
@@ -68,28 +73,48 @@ func (c *resultCache) get(key [32]byte) (*cacheEntry, bool) {
 	return el.Value.(*cacheEntry), true
 }
 
-func (c *resultCache) put(e *cacheEntry) {
+// put inserts an entry and evicts from the LRU tail until both the entry
+// cap and the byte budget hold again. It returns the resident entry count
+// and byte total after the insert, from the same critical section, so the
+// caller's gauge stays accurate across multi-entry evictions. An entry
+// larger than the whole byte budget is not cached at all: admitting it
+// would evict everything else and still bust the budget.
+func (c *resultCache) put(e *cacheEntry) (entries int, bytes int64) {
 	if c.cap <= 0 {
-		return
+		return 0, 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.maxBytes > 0 && int64(len(e.image)) > c.maxBytes {
+		return c.order.Len(), c.bytes
+	}
 	if el, ok := c.entries[e.key]; ok {
 		// Concurrent miss on the same key: both computed the same bytes;
 		// keep the resident entry.
 		c.order.MoveToFront(el)
-		return
+		return c.order.Len(), c.bytes
 	}
 	c.entries[e.key] = c.order.PushFront(e)
-	for c.order.Len() > c.cap {
+	c.bytes += int64(len(e.image))
+	for c.order.Len() > c.cap || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		evicted := oldest.Value.(*cacheEntry)
+		delete(c.entries, evicted.key)
+		c.bytes -= int64(len(evicted.image))
 	}
+	return c.order.Len(), c.bytes
 }
 
 func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// size reports resident entries and their total image bytes.
+func (c *resultCache) size() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len(), c.bytes
 }

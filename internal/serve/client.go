@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"net"
 	"sync/atomic"
+	"time"
 )
 
 // Client is one connection to a squashd daemon, with protocol negotiation
@@ -100,6 +101,16 @@ func (c *Client) redial() error {
 
 // Proto reports the protocol version the connection is speaking.
 func (c *Client) Proto() int { return c.ver }
+
+// SetDeadline bounds the socket I/O of subsequent Do calls (reads and
+// writes both); the zero time clears it. The router and health prober use
+// this so one stuck backend cannot wedge a forwarding goroutine.
+func (c *Client) SetDeadline(t time.Time) error {
+	if c.conn == nil {
+		return fmt.Errorf("serve: client connection is closed")
+	}
+	return c.conn.SetDeadline(t)
+}
 
 // BytesIn and BytesOut report the connection's cumulative wire bytes
 // (every redial included). Safe to read concurrently with Do.

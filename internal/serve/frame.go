@@ -184,6 +184,12 @@ func (o *wireOp) UnmarshalJSON(b []byte) error {
 		*o = OpStats
 	case string(s) == OpPing:
 		*o = OpPing
+	case string(s) == OpCluster:
+		*o = OpCluster
+	case string(s) == OpDrain:
+		*o = OpDrain
+	case string(s) == OpUndrain:
+		*o = OpUndrain
 	default:
 		// Unknown op: keep the raw spelling so the server's error message
 		// can echo it. (Escape sequences stay unprocessed; an op that needs
@@ -204,6 +210,7 @@ type reqEnv struct {
 	Scale   float64      `json:"scale,omitempty"`
 	NoImage bool         `json:"no_image,omitempty"`
 	Items   []itemEnv    `json:"items,omitempty"`
+	Backend string       `json:"backend,omitempty"`
 }
 
 type itemEnv struct {
@@ -216,16 +223,17 @@ type itemEnv struct {
 
 // respEnv is the v2 response envelope, mirroring Response the same way.
 type respEnv struct {
-	OK         bool            `json:"ok"`
-	Err        string          `json:"err,omitempty"`
-	Image      secRef          `json:"image"`
-	Stats      *core.Stats     `json:"stats,omitempty"`
-	Foot       *core.Footprint `json:"foot,omitempty"`
-	Cached     bool            `json:"cached,omitempty"`
-	PrepCached bool            `json:"prep_cached,omitempty"`
-	Results    []resultEnv     `json:"results,omitempty"`
-	Server     *Snapshot       `json:"server,omitempty"`
-	ProtoMax   int             `json:"proto_max,omitempty"`
+	OK         bool             `json:"ok"`
+	Err        string           `json:"err,omitempty"`
+	Image      secRef           `json:"image"`
+	Stats      *core.Stats      `json:"stats,omitempty"`
+	Foot       *core.Footprint  `json:"foot,omitempty"`
+	Cached     bool             `json:"cached,omitempty"`
+	PrepCached bool             `json:"prep_cached,omitempty"`
+	Results    []resultEnv      `json:"results,omitempty"`
+	Server     *Snapshot        `json:"server,omitempty"`
+	Cluster    *ClusterSnapshot `json:"cluster,omitempty"`
+	ProtoMax   int              `json:"proto_max,omitempty"`
 }
 
 type resultEnv struct {
@@ -356,6 +364,7 @@ func writeRequestV2(bw *bufio.Writer, sc *frameScratch, req *Request) error {
 		Bench:   req.Bench,
 		Scale:   req.Scale,
 		NoImage: req.NoImage,
+		Backend: req.Backend,
 	}
 	if len(req.Items) > 0 {
 		items := sc.items[:0]
@@ -391,6 +400,7 @@ func writeResponseV2(bw *bufio.Writer, sc *frameScratch, resp *Response) error {
 		Cached:     resp.Cached,
 		PrepCached: resp.PrepCached,
 		Server:     resp.Server,
+		Cluster:    resp.Cluster,
 		ProtoMax:   resp.ProtoMax,
 	}
 	if len(resp.Results) > 0 {
@@ -495,6 +505,7 @@ func decodeRequestV2(sc *frameScratch, env, pay []byte, fb *frameBuf, req *Reque
 		Bench:   e.Bench,
 		Scale:   e.Scale,
 		NoImage: e.NoImage,
+		Backend: e.Backend,
 	}
 	var err error
 	if req.Obj, err = cur.take(e.Obj); err != nil {
@@ -539,7 +550,7 @@ func decodeResponseV2(sc *frameScratch, env, pay []byte, resp *Response) error {
 		OK: e.OK, Err: e.Err,
 		Stats: e.Stats, Foot: e.Foot,
 		Cached: e.Cached, PrepCached: e.PrepCached,
-		Server: e.Server, ProtoMax: e.ProtoMax,
+		Server: e.Server, Cluster: e.Cluster, ProtoMax: e.ProtoMax,
 	}
 	img, err := cur.take(e.Image)
 	if err != nil {

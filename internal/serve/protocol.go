@@ -54,6 +54,16 @@ const (
 	OpStats = "stats"
 	// OpPing checks liveness.
 	OpPing = "ping"
+
+	// Cluster admin operations, answered only by the router tier
+	// (cmd/squashrouter); a plain squashd rejects them as unknown ops.
+	// OpCluster reports every backend's state plus the merged snapshot.
+	OpCluster = "cluster"
+	// OpDrain marks the backend named by Request.Backend as draining: it
+	// receives no new requests but keeps its health checks. OpUndrain
+	// reverses it.
+	OpDrain   = "drain"
+	OpUndrain = "undrain"
 )
 
 // MaxBatchItems bounds one OpBatch frame's object count. The ceiling keeps
@@ -87,6 +97,10 @@ type Request struct {
 
 	// OpBatch: the objects of this frame, at most MaxBatchItems.
 	Items []BatchItem `json:"items,omitempty"`
+
+	// Backend names the target backend address for the router admin ops
+	// OpDrain and OpUndrain.
+	Backend string `json:"backend,omitempty"`
 
 	// fb is the pooled v2 frame buffer this request's payload slices alias
 	// (nil for v1 requests, which copy during JSON decode). The dispatch
@@ -157,10 +171,43 @@ type Response struct {
 	// Server carries the OpStats snapshot.
 	Server *Snapshot `json:"server,omitempty"`
 
+	// Cluster carries the OpCluster answer from a router.
+	Cluster *ClusterSnapshot `json:"cluster,omitempty"`
+
 	// ProtoMax is set on version-negotiation error responses: the highest
 	// protocol version the server speaks. A client that opened with a
 	// newer version downgrades and resends.
 	ProtoMax int `json:"proto_max,omitempty"`
+}
+
+// BackendStatus is one backend's view in a ClusterSnapshot.
+type BackendStatus struct {
+	Addr  string `json:"addr"`
+	State string `json:"state"` // "up", "down", or "draining"
+	// ConsecFails is the current consecutive-failure streak (health
+	// probes and request transport errors both count); it resets on any
+	// success.
+	ConsecFails int   `json:"consec_fails,omitempty"`
+	InFlight    int64 `json:"in_flight"`
+	// Requests and Errors count what the router sent this backend.
+	Requests uint64 `json:"requests"`
+	Errors   uint64 `json:"errors,omitempty"`
+	// SinceCheckSec is the age of the last successful health probe;
+	// negative means no probe has succeeded yet.
+	SinceCheckSec float64 `json:"since_check_sec"`
+	// Stats is the backend's own snapshot from its last successful health
+	// probe (nil before the first one).
+	Stats *Snapshot `json:"stats,omitempty"`
+}
+
+// ClusterSnapshot is the router's OpCluster answer: per-backend status
+// plus the merged per-backend snapshots.
+type ClusterSnapshot struct {
+	Policy   string          `json:"policy"`
+	Backends []BackendStatus `json:"backends"`
+	// Merged aggregates the per-backend stats (MergeSnapshots of the
+	// latest probe snapshots).
+	Merged *Snapshot `json:"merged,omitempty"`
 }
 
 // WriteFrame marshals v and writes one length-prefixed v1 frame. Header

@@ -393,7 +393,7 @@ func TestResultKeyIgnoresWorkers(t *testing.T) {
 
 // TestResultCacheEvicts: the LRU stays bounded and evicts oldest-first.
 func TestResultCacheEvicts(t *testing.T) {
-	c := newResultCache(2)
+	c := newResultCache(2, 0)
 	key := func(i byte) [32]byte { return [32]byte{i} }
 	for i := byte(1); i <= 3; i++ {
 		c.put(&cacheEntry{key: key(i), image: []byte{i}})

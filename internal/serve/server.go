@@ -37,6 +37,18 @@ type Options struct {
 	// CacheEntries bounds the warm squash-result cache; 0 means the
 	// default (64), negative disables caching.
 	CacheEntries int
+	// CacheBytes additionally bounds the result cache by total image
+	// bytes; 0 keeps the entry-count-only behavior. With a budget set, the
+	// LRU evicts (possibly several) oldest entries until the total fits,
+	// and an image larger than the whole budget is never cached.
+	CacheBytes int64
+	// Handler, when non-nil, replaces the squash pipeline entirely: every
+	// request — stats and ping included — is answered by the handler,
+	// inline on the connection goroutine (no worker pool, no local result
+	// cache, no per-request timeout; the handler owns its own bounds).
+	// The cluster router uses this to reuse the daemon's listener, codec,
+	// negotiation, metrics, and drain machinery in front of its fan-out.
+	Handler func(*Request) *Response
 	// PrepCacheDir is the on-disk experiments preparation cache for
 	// OpBench requests; empty uses only the in-memory layer.
 	PrepCacheDir string
@@ -116,7 +128,7 @@ func NewServer(opts Options) *Server {
 		opts:      opts,
 		rec:       rec,
 		pool:      parallel.NewPoolObs(opts.Workers, rec.Metrics),
-		cache:     newResultCache(opts.CacheEntries),
+		cache:     newResultCache(opts.CacheEntries, opts.CacheBytes),
 		met:       newMetrics(rec.Metrics),
 		logf:      logf,
 		listeners: map[net.Listener]struct{}{},
@@ -253,13 +265,20 @@ func (s *Server) dispatch(req *Request) *Response {
 
 	var resp *Response
 	timedOut := false
-	switch req.Op {
-	case OpStats:
+	switch {
+	case s.opts.Handler != nil:
+		// Delegated serving (the router tier): the handler answers every
+		// op inline on the connection goroutine. The payload releases only
+		// after the handler returns — it may still be forwarding the
+		// request's zero-copy sections.
+		resp = s.opts.Handler(req)
+		req.releasePayload()
+	case req.Op == OpStats:
 		// Served inline: the stats endpoint must answer even when every
 		// worker is busy — that is exactly when an operator asks.
 		resp = &Response{OK: true, Server: s.met.snapshot()}
 		req.releasePayload()
-	case OpPing:
+	case req.Op == OpPing:
 		resp = &Response{OK: true}
 		req.releasePayload()
 	default:
@@ -357,6 +376,11 @@ func (s *Server) process(req *Request) *Response {
 		}
 		b, prepHit, err := experiments.PrepareSpec(req.Bench, scale, s.opts.PrepCacheDir)
 		if err != nil {
+			// The failed preparation still counts as a prep-cache miss —
+			// returning early without recording it silently dropped errored
+			// requests from the hit-rate denominator.
+			s.met.prepCache(false)
+			s.met.prepError()
 			return errResponse(err.Error())
 		}
 		s.met.prepCache(prepHit)
@@ -421,8 +445,12 @@ func (s *Server) squash(objBytes, profBytes []byte, conf core.Config, prepHit, n
 	if err != nil {
 		return errResponse(err.Error())
 	}
-	s.cache.put(&cacheEntry{key: key, image: image, stats: out.Stats, foot: out.Foot})
-	s.met.resEntries.Set(int64(s.cache.len()))
+	// put reports the post-eviction totals from inside its critical
+	// section, so the gauges stay accurate even when a byte-budget insert
+	// evicts several entries at once.
+	entries, cacheBytes := s.cache.put(&cacheEntry{key: key, image: image, stats: out.Stats, foot: out.Foot})
+	s.met.resEntries.Set(int64(entries))
+	s.met.resBytes.Set(cacheBytes)
 	stats, foot := out.Stats, out.Foot
 	resp := &Response{OK: true, Image: image, Stats: &stats, Foot: &foot,
 		PrepCached: prepHit}

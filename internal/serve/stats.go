@@ -26,6 +26,7 @@ type metrics struct {
 
 	squashHits, squashMisses uint64
 	prepHits, prepMisses     uint64
+	prepErrors               uint64
 
 	batchFrames, batchObjects, batchShared uint64
 
@@ -42,7 +43,9 @@ type metrics struct {
 	resMissC   *obs.Counter
 	prepHitC   *obs.Counter
 	prepMissC  *obs.Counter
+	prepErrC   *obs.Counter
 	resEntries *obs.Gauge
+	resBytes   *obs.Gauge
 
 	batchFramesC  *obs.Counter
 	batchObjectsC *obs.Counter
@@ -62,7 +65,9 @@ func newMetrics(reg *obs.Registry) *metrics {
 		resMissC:   reg.Counter("squashd_cache_misses_total", obs.L("cache", "result")),
 		prepHitC:   reg.Counter("squashd_cache_hits_total", obs.L("cache", "prep")),
 		prepMissC:  reg.Counter("squashd_cache_misses_total", obs.L("cache", "prep")),
+		prepErrC:   reg.Counter("squashd_prep_errors_total"),
 		resEntries: reg.Gauge("squashd_result_cache_entries"),
+		resBytes:   reg.Gauge("squashd_result_cache_bytes"),
 
 		batchFramesC:  reg.Counter("squashd_batch_frames_total"),
 		batchObjectsC: reg.Counter("squashd_batch_objects_total"),
@@ -129,6 +134,17 @@ func (m *metrics) prepCache(hit bool) {
 	}
 }
 
+// prepError records a failed benchmark preparation. The failed lookup has
+// already been counted as a prep-cache miss (errored requests must not
+// silently drop out of the hit-rate denominator); this counter separates
+// "prep ran and failed" from "prep ran cold".
+func (m *metrics) prepError() {
+	m.mu.Lock()
+	m.prepErrors++
+	m.mu.Unlock()
+	m.prepErrC.Inc()
+}
+
 // proto records the protocol version a connection latched with its first
 // frame (one count per connection, not per frame).
 func (m *metrics) proto(ver int) {
@@ -177,6 +193,10 @@ type Snapshot struct {
 	SquashCacheMisses uint64 `json:"squash_cache_misses"`
 	PrepCacheHits     uint64 `json:"prep_cache_hits"`
 	PrepCacheMisses   uint64 `json:"prep_cache_misses"`
+	// PrepErrors counts bench preparations that failed; each also counts
+	// as a prep-cache miss so hit-rate denominators include errored
+	// requests.
+	PrepErrors uint64 `json:"prep_errors,omitempty"`
 
 	// Batch serving: frames received, objects across all frames, and
 	// objects answered from a within-batch duplicate.
@@ -203,6 +223,7 @@ func (m *metrics) snapshot() *Snapshot {
 		SquashCacheMisses: m.squashMisses,
 		PrepCacheHits:     m.prepHits,
 		PrepCacheMisses:   m.prepMisses,
+		PrepErrors:        m.prepErrors,
 		BatchFrames:       m.batchFrames,
 		BatchObjects:      m.batchObjects,
 		BatchShared:       m.batchShared,
@@ -220,13 +241,61 @@ func (m *metrics) snapshot() *Snapshot {
 
 	// Percentiles come from the obs histogram's window; an empty window
 	// yields an all-zero Latency, matching the pre-telemetry wire format.
-	qs := m.lat.Quantiles(0.50, 0.90, 0.99, 1.0)
+	// Count and quantiles come from one histogram snapshot: separate
+	// WindowCount/Quantiles calls would let a request landing between them
+	// skew count against percentiles in -stats.
+	count, qs := m.lat.WindowQuantiles(0.50, 0.90, 0.99, 1.0)
 	s.Latency = Latency{
-		Count: m.lat.WindowCount(),
+		Count: count,
 		P50:   qs[0],
 		P90:   qs[1],
 		P99:   qs[2],
 		Max:   qs[3],
 	}
 	return s
+}
+
+// MergeSnapshots aggregates per-backend stats snapshots into one
+// cluster-wide view (the router's OpStats answer and squashctl's merged
+// stats). Counters and request maps sum; in-flight sums; uptime is the
+// fleet maximum. Latency percentiles cannot be merged exactly from
+// quantiles alone, so the merge is conservative: counts sum and each
+// percentile is the worst (maximum) across backends. Nil snapshots are
+// skipped; merging none yields a zero snapshot.
+func MergeSnapshots(snaps ...*Snapshot) *Snapshot {
+	out := &Snapshot{Requests: map[string]uint64{}}
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		if s.UptimeSec > out.UptimeSec {
+			out.UptimeSec = s.UptimeSec
+		}
+		for op, n := range s.Requests {
+			out.Requests[op] += n
+		}
+		out.Errors += s.Errors
+		out.Timeouts += s.Timeouts
+		out.InFlight += s.InFlight
+		out.SquashCacheHits += s.SquashCacheHits
+		out.SquashCacheMisses += s.SquashCacheMisses
+		out.PrepCacheHits += s.PrepCacheHits
+		out.PrepCacheMisses += s.PrepCacheMisses
+		out.PrepErrors += s.PrepErrors
+		out.BatchFrames += s.BatchFrames
+		out.BatchObjects += s.BatchObjects
+		out.BatchShared += s.BatchShared
+		for v, n := range s.ProtoConns {
+			if out.ProtoConns == nil {
+				out.ProtoConns = map[string]uint64{}
+			}
+			out.ProtoConns[v] += n
+		}
+		out.Latency.Count += s.Latency.Count
+		out.Latency.P50 = max(out.Latency.P50, s.Latency.P50)
+		out.Latency.P90 = max(out.Latency.P90, s.Latency.P90)
+		out.Latency.P99 = max(out.Latency.P99, s.Latency.P99)
+		out.Latency.Max = max(out.Latency.Max, s.Latency.Max)
+	}
+	return out
 }
