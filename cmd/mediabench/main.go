@@ -1,6 +1,7 @@
 // Command mediabench emits the synthetic benchmark suite: assembly source,
-// profiling input, and timing input per program, ready for the
-// em-as/squeeze/em-run/squash pipeline.
+// profiling input, timing input, and pathology input (a workload-shift
+// stream dominated by profile-cold trigger bytes) per program, ready for
+// the em-as/squeeze/em-run/squash pipeline.
 //
 // Usage:
 //
@@ -47,7 +48,10 @@ func main() {
 		if err := os.WriteFile(base+".time.in", s.TimingInput(), 0o644); err != nil {
 			fail(err)
 		}
-		fmt.Printf("wrote %s.{s,prof.in,time.in}\n", base)
+		if err := os.WriteFile(base+".path.in", s.PathologyInput(), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s.{s,prof.in,time.in,path.in}\n", base)
 	}
 }
 

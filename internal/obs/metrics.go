@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -25,18 +26,20 @@ func L(key, value string) Label { return Label{Key: key, Value: value} }
 // the returned Counter/Gauge pointers update lock-free, so callers
 // should fetch instruments once and hold on to them in hot paths.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	floatGauges map[string]*FloatGauge
+	histograms  map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters:   make(map[string]*Counter),
-		gauges:     make(map[string]*Gauge),
-		histograms: make(map[string]*Histogram),
+		counters:    make(map[string]*Counter),
+		gauges:      make(map[string]*Gauge),
+		floatGauges: make(map[string]*FloatGauge),
+		histograms:  make(map[string]*Histogram),
 	}
 }
 
@@ -96,6 +99,25 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	if !ok {
 		g = &Gauge{name: name, labels: sortedLabels(labels)}
 		r.gauges[key] = g
+	}
+	return g
+}
+
+// FloatGauge returns the float gauge with the given name and labels,
+// creating it on first use. Nil registries return a nil (no-op) gauge.
+// Float gauges carry levels that are naturally fractional — drift scores,
+// mass fractions, rates — which the integer Gauge could only hold scaled.
+func (r *Registry) FloatGauge(name string, labels ...Label) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	key := instrumentKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.floatGauges[key]
+	if !ok {
+		g = &FloatGauge{name: name, labels: sortedLabels(labels)}
+		r.floatGauges[key] = g
 	}
 	return g
 }
@@ -175,11 +197,36 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// FloatGauge is a settable float64 level (drift score, hit rate, ...).
+// The value is stored as its IEEE-754 bits in an atomic word.
+type FloatGauge struct {
+	name   string
+	labels []Label
+	v      atomic.Uint64
+}
+
+// Set replaces the gauge value. Safe on nil.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(math.Float64bits(v))
+}
+
+// Value reads the current level; 0 on nil.
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.v.Load())
+}
+
 // Snapshot is the JSON export shape of a registry.
 type Snapshot struct {
-	Counters   []CounterSnapshot   `json:"counters"`
-	Gauges     []GaugeSnapshot     `json:"gauges"`
-	Histograms []HistogramSnapshot `json:"histograms"`
+	Counters    []CounterSnapshot    `json:"counters"`
+	Gauges      []GaugeSnapshot      `json:"gauges"`
+	FloatGauges []FloatGaugeSnapshot `json:"float_gauges,omitempty"`
+	Histograms  []HistogramSnapshot  `json:"histograms"`
 }
 
 // CounterSnapshot is one exported counter leaf.
@@ -194,6 +241,13 @@ type GaugeSnapshot struct {
 	Name   string            `json:"name"`
 	Labels map[string]string `json:"labels,omitempty"`
 	Value  int64             `json:"value"`
+}
+
+// FloatGaugeSnapshot is one exported float-gauge leaf.
+type FloatGaugeSnapshot struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
 }
 
 // HistogramSnapshot is one exported histogram leaf. Quantiles are
@@ -240,6 +294,10 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, g := range r.gauges {
 		gauges = append(gauges, g)
 	}
+	fgauges := make([]*FloatGauge, 0, len(r.floatGauges))
+	for _, g := range r.floatGauges {
+		fgauges = append(fgauges, g)
+	}
 	hists := make([]*Histogram, 0, len(r.histograms))
 	for _, h := range r.histograms {
 		hists = append(hists, h)
@@ -252,6 +310,9 @@ func (r *Registry) Snapshot() Snapshot {
 	sort.Slice(gauges, func(i, j int) bool {
 		return instrumentKey(gauges[i].name, gauges[i].labels) < instrumentKey(gauges[j].name, gauges[j].labels)
 	})
+	sort.Slice(fgauges, func(i, j int) bool {
+		return instrumentKey(fgauges[i].name, fgauges[i].labels) < instrumentKey(fgauges[j].name, fgauges[j].labels)
+	})
 	sort.Slice(hists, func(i, j int) bool {
 		return instrumentKey(hists[i].name, hists[i].labels) < instrumentKey(hists[j].name, hists[j].labels)
 	})
@@ -261,6 +322,9 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for _, g := range gauges {
 		s.Gauges = append(s.Gauges, GaugeSnapshot{Name: g.name, Labels: labelMap(g.labels), Value: g.Value()})
+	}
+	for _, g := range fgauges {
+		s.FloatGauges = append(s.FloatGauges, FloatGaugeSnapshot{Name: g.name, Labels: labelMap(g.labels), Value: g.Value()})
 	}
 	for _, h := range hists {
 		qs := h.Quantiles(0.50, 0.90, 0.99, 1.0)
@@ -293,6 +357,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, g := range s.Gauges {
 		fmt.Fprintf(&b, "# TYPE %s gauge\n", promName(g.Name))
 		fmt.Fprintf(&b, "%s%s %d\n", promName(g.Name), promLabels(g.Labels, "", ""), g.Value)
+	}
+	for _, g := range s.FloatGauges {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n", promName(g.Name))
+		fmt.Fprintf(&b, "%s%s %s\n", promName(g.Name), promLabels(g.Labels, "", ""), promFloat(g.Value))
 	}
 	for _, h := range s.Histograms {
 		name := promName(h.Name)

@@ -145,6 +145,49 @@ func TestRegistryInstrumentIdentity(t *testing.T) {
 	}
 }
 
+func TestFloatGauge(t *testing.T) {
+	var r *Registry
+	fg := r.FloatGauge("nil_safe")
+	fg.Set(0.5)
+	if fg.Value() != 0 {
+		t.Fatalf("nil float gauge has value")
+	}
+
+	reg := NewRegistry()
+	a := reg.FloatGauge("drift_score", L("image", "k1"))
+	b := reg.FloatGauge("drift_score", L("image", "k1"))
+	if a != b {
+		t.Fatalf("same name+labels produced distinct float gauges")
+	}
+	a.Set(0.25)
+	a.Set(0.625)
+	if b.Value() != 0.625 {
+		t.Fatalf("float gauge = %v, want 0.625", b.Value())
+	}
+
+	snap := reg.Snapshot()
+	if len(snap.FloatGauges) != 1 || snap.FloatGauges[0].Value != 0.625 {
+		t.Fatalf("float gauge snapshot: %+v", snap.FloatGauges)
+	}
+	if snap.FloatGauges[0].Labels["image"] != "k1" {
+		t.Fatalf("float gauge labels: %+v", snap.FloatGauges[0])
+	}
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE drift_score gauge",
+		`drift_score{image="k1"} 0.625`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, text)
+		}
+	}
+}
+
 func TestRegistryExports(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("squash_regions_total").Add(12)

@@ -1,0 +1,213 @@
+// Drift math for the continuous-profiling plane: merging and decaying
+// per-word count vectors shipped from running fleets, and measuring how far
+// a live aggregate has moved from the profile an image was squashed with.
+//
+// The unit here is the text *word*, not the basic block: fleet profiles
+// arrive as raw vm count vectors (one counter per text word), and both
+// sides of every comparison live in the same image's address space, so the
+// word-level θ partition below is the exact analogue of the paper's §5
+// block-level rule with each word acting as a one-instruction block.
+package profile
+
+import (
+	"math"
+	"sort"
+)
+
+// Total sums the dynamic instruction weight of a count vector.
+func Total(c Counts) uint64 {
+	var t uint64
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// Merge adds src into dst element-wise and returns dst, growing it when src
+// is longer. Counts saturate at the uint64 ceiling instead of wrapping: a
+// long-lived aggregate fed hot counters must never wrap around to "cold".
+func Merge(dst, src Counts) Counts {
+	if len(src) > len(dst) {
+		grown := make(Counts, len(src))
+		copy(grown, dst)
+		dst = grown
+	}
+	for i, v := range src {
+		if s := dst[i] + v; s >= dst[i] {
+			dst[i] = s
+		} else {
+			dst[i] = math.MaxUint64
+		}
+	}
+	return dst
+}
+
+// Decay scales every count by factor (clamped to [0, 1]), rounding half up
+// so repeated decays drive small counts to zero instead of pinning them at
+// one forever. It implements the decaying aggregation window: applying
+// factor 0.5 once per half-life makes old behaviour fade geometrically
+// while fresh pushes arrive at full weight.
+func Decay(c Counts, factor float64) {
+	if factor >= 1 {
+		return
+	}
+	if factor < 0 {
+		factor = 0
+	}
+	for i, v := range c {
+		c[i] = uint64(float64(v)*factor + 0.5)
+	}
+}
+
+// ColdMaxFreq computes the word-level θ partition: the largest execution
+// count N such that the words executing at most N times contribute no more
+// than θ of the total dynamic instruction count. Whole frequency classes
+// are admitted together, mirroring IdentifyCold. Words with count ≤ N are
+// the cold set.
+func ColdMaxFreq(c Counts, theta float64) uint64 {
+	if theta < 0 {
+		theta = 0
+	}
+	if theta > 1 {
+		theta = 1
+	}
+	freqs := make([]uint64, 0, len(c))
+	for _, v := range c {
+		if v > 0 {
+			freqs = append(freqs, v)
+		}
+	}
+	sort.Slice(freqs, func(i, j int) bool { return freqs[i] < freqs[j] })
+	tot := Total(c)
+	budget := uint64(float64(tot) * theta)
+	if theta >= 1 {
+		budget = tot
+	}
+	var cum, maxFreq uint64
+	i := 0
+	for i < len(freqs) {
+		j := i
+		var classWeight uint64
+		for j < len(freqs) && freqs[j] == freqs[i] {
+			classWeight += freqs[j]
+			j++
+		}
+		if cum+classWeight > budget {
+			break
+		}
+		cum += classWeight
+		maxFreq = freqs[i]
+		i = j
+	}
+	return maxFreq
+}
+
+// ColdMass reports the dynamic instruction weight on words whose count is
+// at most maxFreq (the cold partition's weight).
+func ColdMass(c Counts, maxFreq uint64) uint64 {
+	var m uint64
+	for _, v := range c {
+		if v <= maxFreq {
+			m += v
+		}
+	}
+	return m
+}
+
+// ThetaColdMass is one row of a per-θ cold-mass summary: the partition
+// threshold and the cold set's share of the dynamic instruction count.
+type ThetaColdMass struct {
+	Theta   float64 `json:"theta"`
+	MaxFreq uint64  `json:"max_freq"`
+	Weight  uint64  `json:"weight"`
+	Frac    float64 `json:"frac"`
+}
+
+// ColdMasses evaluates the θ partition for each threshold, so downstream
+// drift tooling reads the cold-mass curve straight from run statistics
+// instead of recomputing it from raw counts.
+func ColdMasses(c Counts, thetas []float64) []ThetaColdMass {
+	tot := Total(c)
+	out := make([]ThetaColdMass, 0, len(thetas))
+	for _, th := range thetas {
+		mf := ColdMaxFreq(c, th)
+		w := ColdMass(c, mf)
+		frac := 0.0
+		if tot > 0 {
+			frac = float64(w) / float64(tot)
+		}
+		out = append(out, ThetaColdMass{Theta: th, MaxFreq: mf, Weight: w, Frac: frac})
+	}
+	return out
+}
+
+// DriftStats quantifies how far a live count aggregate has moved from the
+// baseline profile an image was squashed with. Both vectors must be in the
+// same address space (the same image's text words).
+type DriftStats struct {
+	// BaseWeight and LiveWeight are the two totals (dynamic instructions).
+	BaseWeight uint64 `json:"base_weight"`
+	LiveWeight uint64 `json:"live_weight"`
+
+	// ColdMassBase is the fraction of baseline mass inside the baseline's
+	// θ cold partition (≤ θ by construction). ColdMassLive is the fraction
+	// of *live* mass landing on those same words. Their difference is the
+	// mass that migrated into code the squash decided to compress — the
+	// direct buffer-thrash signal.
+	ColdMassBase float64 `json:"cold_mass_base"`
+	ColdMassLive float64 `json:"cold_mass_live"`
+	// ColdExcess = max(0, ColdMassLive − ColdMassBase).
+	ColdExcess float64 `json:"cold_excess"`
+
+	// HotMassTV is the total-variation distance between the two normalized
+	// count distributions: ½ Σ |live_i/L − base_i/B| ∈ [0, 1]. It catches
+	// hot-mass reshaping that stays outside the cold set.
+	HotMassTV float64 `json:"hot_mass_tv"`
+
+	// Score is the scalar drift metric compared against the re-squash
+	// threshold: max(ColdExcess, HotMassTV).
+	Score float64 `json:"score"`
+}
+
+// ComputeDrift measures live against base over base's θ cold partition.
+// Either vector may be empty (zero drift: with no evidence, nothing has
+// drifted); mismatched lengths treat missing words as zero.
+func ComputeDrift(base, live Counts, theta float64) DriftStats {
+	d := DriftStats{BaseWeight: Total(base), LiveWeight: Total(live)}
+	if d.BaseWeight == 0 || d.LiveWeight == 0 {
+		return d
+	}
+	maxFreq := ColdMaxFreq(base, theta)
+	n := len(base)
+	if len(live) > n {
+		n = len(live)
+	}
+	var coldBase, coldLive uint64
+	var tv float64
+	bw, lw := float64(d.BaseWeight), float64(d.LiveWeight)
+	for i := 0; i < n; i++ {
+		var b, l uint64
+		if i < len(base) {
+			b = base[i]
+		}
+		if i < len(live) {
+			l = live[i]
+		}
+		if b <= maxFreq {
+			coldBase += b
+			coldLive += l
+		}
+		tv += math.Abs(float64(l)/lw - float64(b)/bw)
+	}
+	d.ColdMassBase = float64(coldBase) / bw
+	d.ColdMassLive = float64(coldLive) / lw
+	if d.ColdMassLive > d.ColdMassBase {
+		d.ColdExcess = d.ColdMassLive - d.ColdMassBase
+	}
+	d.HotMassTV = tv / 2
+	d.Score = d.ColdExcess
+	if d.HotMassTV > d.Score {
+		d.Score = d.HotMassTV
+	}
+	return d
+}

@@ -1,0 +1,194 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestMerge(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		dst, src Counts
+		want     Counts
+	}{
+		{"both empty", nil, nil, nil},
+		{"empty src", Counts{1, 2}, nil, Counts{1, 2}},
+		{"empty dst grows", nil, Counts{3, 4}, Counts{3, 4}},
+		{"equal lengths", Counts{1, 2, 3}, Counts{10, 0, 5}, Counts{11, 2, 8}},
+		{"src longer grows dst", Counts{1}, Counts{1, 7}, Counts{2, 7}},
+		{"dst longer keeps tail", Counts{1, 9}, Counts{1}, Counts{2, 9}},
+		{"saturates", Counts{math.MaxUint64}, Counts{5}, Counts{math.MaxUint64}},
+	} {
+		got := Merge(append(Counts(nil), tc.dst...), tc.src)
+		if len(got) == 0 && len(tc.want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: Merge = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDecay(t *testing.T) {
+	c := Counts{100, 1, 0, 3}
+	Decay(c, 0.5)
+	if !reflect.DeepEqual(c, Counts{50, 1, 0, 2}) {
+		t.Fatalf("half decay = %v", c)
+	}
+	// The rounding must let a count of 1 die across two halvings (0.5→1,
+	// then... 1*0.5+0.5 = 1). Quarter decay kills it.
+	Decay(c, 0.25)
+	if !reflect.DeepEqual(c, Counts{13, 0, 0, 1}) {
+		t.Fatalf("quarter decay = %v", c)
+	}
+	Decay(c, 1.5) // clamp: factor ≥ 1 is a no-op
+	if !reflect.DeepEqual(c, Counts{13, 0, 0, 1}) {
+		t.Fatalf("factor>1 changed counts: %v", c)
+	}
+	Decay(c, -1) // clamp to zero
+	if !reflect.DeepEqual(c, Counts{0, 0, 0, 0}) {
+		t.Fatalf("negative factor = %v", c)
+	}
+}
+
+func TestColdMaxFreqWordLevel(t *testing.T) {
+	// Counts double as weights at word level. Total = 111. θ=0 admits only
+	// zero-count words; θ=0.02 admits the count-1 class (weight 2 ≤ 2.22);
+	// θ=0.1 also admits the count-10 class (2+10=12 > 11.1, so not).
+	c := Counts{0, 1, 1, 10, 99}
+	if got := ColdMaxFreq(c, 0); got != 0 {
+		t.Errorf("θ=0 maxFreq = %d", got)
+	}
+	if got := ColdMaxFreq(c, 0.02); got != 1 {
+		t.Errorf("θ=0.02 maxFreq = %d", got)
+	}
+	if got := ColdMaxFreq(c, 0.1); got != 1 {
+		t.Errorf("θ=0.1 maxFreq = %d (class admission must be whole)", got)
+	}
+	if got := ColdMaxFreq(c, 0.12); got != 10 {
+		t.Errorf("θ=0.12 maxFreq = %d", got)
+	}
+	if got := ColdMaxFreq(c, 1); got != 99 {
+		t.Errorf("θ=1 maxFreq = %d", got)
+	}
+	if got := ColdMaxFreq(nil, 0.5); got != 0 {
+		t.Errorf("empty counts maxFreq = %d", got)
+	}
+}
+
+func TestColdMasses(t *testing.T) {
+	c := Counts{0, 1, 1, 10, 99} // total 111
+	rows := ColdMasses(c, []float64{0, 0.02, 1})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Weight != 0 || rows[0].Frac != 0 {
+		t.Errorf("θ=0 row = %+v", rows[0])
+	}
+	if rows[1].Weight != 2 || math.Abs(rows[1].Frac-2.0/111.0) > 1e-12 {
+		t.Errorf("θ=0.02 row = %+v", rows[1])
+	}
+	if rows[2].Weight != 111 || rows[2].Frac != 1 {
+		t.Errorf("θ=1 row = %+v", rows[2])
+	}
+	// Empty counts: zero weights, zero fractions, no NaN.
+	for _, r := range ColdMasses(nil, []float64{0.5}) {
+		if r.Weight != 0 || r.Frac != 0 {
+			t.Errorf("empty-counts row = %+v", r)
+		}
+	}
+}
+
+func TestComputeDriftIdentical(t *testing.T) {
+	base := Counts{0, 5, 5, 1000}
+	// A live aggregate that is an exact multiple of the baseline has not
+	// drifted at all: same shape, same partition occupancy.
+	live := Counts{0, 15, 15, 3000}
+	d := ComputeDrift(base, live, 0.01)
+	if d.Score != 0 || d.ColdExcess != 0 || d.HotMassTV != 0 {
+		t.Fatalf("identical shapes drifted: %+v", d)
+	}
+	if d.ColdMassBase != d.ColdMassLive {
+		t.Errorf("cold masses differ: %+v", d)
+	}
+}
+
+func TestComputeDriftColdTurnedHot(t *testing.T) {
+	// Word 0 is cold in the baseline (count 1 of 1001). The live workload
+	// hammers it: most live mass lands in the baseline's cold partition.
+	base := Counts{1, 1000}
+	live := Counts{900, 100}
+	d := ComputeDrift(base, live, 0.01)
+	if d.ColdMassLive < 0.89 || d.ColdMassLive > 0.91 {
+		t.Fatalf("ColdMassLive = %v, want ~0.9", d.ColdMassLive)
+	}
+	if d.ColdExcess < 0.85 {
+		t.Errorf("ColdExcess = %v", d.ColdExcess)
+	}
+	if d.Score < d.ColdExcess {
+		t.Errorf("Score %v < ColdExcess %v", d.Score, d.ColdExcess)
+	}
+}
+
+func TestComputeDriftEdgeCases(t *testing.T) {
+	// Empty either side: no evidence, zero drift.
+	if d := ComputeDrift(nil, Counts{1, 2}, 0.1); d.Score != 0 {
+		t.Errorf("empty base drifted: %+v", d)
+	}
+	if d := ComputeDrift(Counts{1, 2}, nil, 0.1); d.Score != 0 {
+		t.Errorf("empty live drifted: %+v", d)
+	}
+	if d := ComputeDrift(Counts{0, 0}, Counts{0, 0}, 0.1); d.Score != 0 {
+		t.Errorf("all-zero vectors drifted: %+v", d)
+	}
+
+	// Mismatched lengths: missing words count as zero on both sides. Live
+	// mass beyond the baseline's extent lands on words that are trivially
+	// cold in the baseline (count 0 ≤ maxFreq), so it reads as drift.
+	d := ComputeDrift(Counts{100}, Counts{100, 100}, 0)
+	if d.ColdMassLive != 0.5 {
+		t.Errorf("longer live: ColdMassLive = %v, want 0.5", d.ColdMassLive)
+	}
+	if d.Score < 0.49 {
+		t.Errorf("longer live: Score = %v", d.Score)
+	}
+
+	// All-cold baseline (θ=1): every word is in the partition, live mass
+	// occupancy is 1 on both sides, so cold excess is zero and TV carries
+	// the signal.
+	d = ComputeDrift(Counts{10, 10}, Counts{20, 0}, 1)
+	if d.ColdExcess != 0 {
+		t.Errorf("all-cold baseline ColdExcess = %v", d.ColdExcess)
+	}
+	if math.Abs(d.HotMassTV-0.5) > 1e-12 || math.Abs(d.Score-0.5) > 1e-12 {
+		t.Errorf("all-cold baseline TV = %v score = %v, want 0.5", d.HotMassTV, d.Score)
+	}
+}
+
+func TestReadCountsBoundsLengthByRemainingBytes(t *testing.T) {
+	// A 7-byte body claiming 1<<40 counts used to pass the plausibility
+	// check whenever the claim was below the total input length; with a
+	// 3-byte varint it allocated the whole Counts slice before the parse
+	// failed. The bound is the bytes remaining after the length field.
+	body := append([]byte("EMP1"), 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01) // uvarint 1<<49
+	if _, err := ReadCounts(bytes.NewReader(body)); err == nil {
+		t.Fatal("accepted a length far beyond the remaining bytes")
+	}
+	// Claimed count equal to remaining bytes but truncated payload must
+	// still error (each count needs ≥ 1 byte; here 3 claimed, 2 present).
+	trunc := []byte{'E', 'M', 'P', '1', 3, 1, 1}
+	if _, err := ReadCounts(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("accepted truncated counts")
+	}
+	// Exactly-fitting payload still parses.
+	ok := []byte{'E', 'M', 'P', '1', 3, 1, 2, 3}
+	got, err := ReadCounts(bytes.NewReader(ok))
+	if err != nil {
+		t.Fatalf("rejected valid counts: %v", err)
+	}
+	if !reflect.DeepEqual(got, Counts{1, 2, 3}) {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,42 @@
+package profile
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzProfileCounts fuzzes the EMP1 codec: any input the reader accepts
+// must survive a write/read round trip unchanged, and the reader must never
+// panic or over-allocate on garbage (the implausible-length bound).
+func FuzzProfileCounts(f *testing.F) {
+	seed := func(c Counts) {
+		var buf bytes.Buffer
+		c.WriteTo(&buf)
+		f.Add(buf.Bytes())
+	}
+	seed(nil)
+	seed(Counts{0})
+	seed(Counts{1, 2, 3, 1 << 40})
+	seed(make(Counts, 300))
+	f.Add([]byte("EMP1"))
+	f.Add([]byte("EMP1\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := ReadCounts(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := c.WriteTo(&buf); err != nil {
+			t.Fatalf("re-encode of accepted counts failed: %v", err)
+		}
+		back, err := ReadCounts(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of re-encoded counts failed: %v", err)
+		}
+		if len(c) != len(back) || (len(c) > 0 && !reflect.DeepEqual(c, back)) {
+			t.Fatalf("round trip changed counts: %v -> %v", c, back)
+		}
+	})
+}

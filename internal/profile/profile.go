@@ -51,8 +51,13 @@ func ReadCounts(r io.Reader) (Counts, error) {
 	if err != nil {
 		return nil, err
 	}
-	if length > uint64(len(data)) {
-		return nil, fmt.Errorf("profile: implausible count %d", length)
+	// Every count occupies at least one uvarint byte, so a plausible length
+	// is bounded by the bytes remaining *after* the header — not by the whole
+	// input, which let a 4-byte body claim millions of counts and
+	// over-allocate the slice (8 bytes per claimed count) before the parse
+	// loop ever hit the truncation error.
+	if length > uint64(len(data)-pos) {
+		return nil, fmt.Errorf("profile: implausible count %d (only %d bytes of data)", length, len(data)-pos)
 	}
 	out := make(Counts, length)
 	for i := range out {

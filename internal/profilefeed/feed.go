@@ -1,0 +1,407 @@
+package profilefeed
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/profile"
+	"repro/internal/serve"
+)
+
+// DefaultMaxInputBytes caps the pushed input bytes retained per image.
+const DefaultMaxInputBytes = 4 << 20
+
+// Options configures a Collector.
+type Options struct {
+	// Dir is the persistent store root (required).
+	Dir string
+	// SquashAddr is the squashd backend re-squashes go through; empty runs
+	// the squash pipeline in-process (byte-identical output either way).
+	SquashAddr string
+	// Threshold is the drift score at which a push triggers an automatic
+	// re-squash; <= 0 disables the automatic trigger (forced re-squashes
+	// still work).
+	Threshold float64
+	// MinSamples gates the automatic trigger: at least this many pushes
+	// must have been aggregated since the last re-squash. 0 means 1.
+	MinSamples uint64
+	// Cooldown is the minimum interval between automatic re-squashes of
+	// one image.
+	Cooldown time.Duration
+	// DecayHalfLife is the live window's half-life: aggregated counts are
+	// scaled by 0.5^(Δt/half-life) before each push merges in. 0 disables
+	// decay (the window grows forever).
+	DecayHalfLife time.Duration
+	// MaxInputBytes caps the pushed input retained per image; 0 means
+	// DefaultMaxInputBytes.
+	MaxInputBytes int
+	// OutDir, when set, additionally receives every re-squashed image as
+	// <key>.sqz.exe (the store always keeps it regardless).
+	OutDir string
+	// Obs supplies the metrics registry; nil gets a private one.
+	Obs *obs.Recorder
+	// Logf receives one line per handled request; nil logs to stderr.
+	Logf func(format string, args ...any)
+	// Now is the clock (tests inject a fake one); nil means time.Now.
+	Now func() time.Time
+}
+
+// Collector is the continuous-profiling plane's server side: it owns the
+// persistent per-image store and answers the profile-plane ops. Handle is
+// safe for concurrent use; the store mutex serializes state changes.
+type Collector struct {
+	opts Options
+	rec  *obs.Recorder
+	logf func(format string, args ...any)
+	now  func() time.Time
+
+	mu sync.Mutex
+	// images indexes entries by registration key; byKey additionally maps
+	// every live (post-re-squash) image key to its entry, so fleet pushes
+	// route correctly whichever image generation they ran.
+	images map[string]*imageState
+	byKey  map[string]*imageState
+}
+
+// NewCollector opens (or creates) the store under opts.Dir and loads every
+// persisted entry.
+func NewCollector(opts Options) (*Collector, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("profilefeed: store dir is required")
+	}
+	logf := opts.Logf
+	if logf == nil {
+		l := log.New(os.Stderr, "squashprofd ", log.LstdFlags|log.Lmicroseconds)
+		logf = l.Printf
+	}
+	rec := opts.Obs
+	if rec == nil {
+		rec = &obs.Recorder{}
+	}
+	if rec.Metrics == nil {
+		rec = &obs.Recorder{Trace: rec.Trace, Metrics: obs.NewRegistry()}
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	if opts.MaxInputBytes <= 0 {
+		opts.MaxInputBytes = DefaultMaxInputBytes
+	}
+	if opts.MinSamples == 0 {
+		opts.MinSamples = 1
+	}
+	images, err := loadStore(opts.Dir, logf)
+	if err != nil {
+		return nil, err
+	}
+	c := &Collector{
+		opts:   opts,
+		rec:    rec,
+		logf:   logf,
+		now:    now,
+		images: images,
+		byKey:  make(map[string]*imageState),
+	}
+	for _, st := range images {
+		c.byKey[st.Key] = st
+		c.byKey[st.CurrentKey] = st
+		c.publish(st)
+	}
+	c.rec.Metrics.Gauge("profilefeed_images").Set(int64(len(images)))
+	return c, nil
+}
+
+// Obs exposes the collector's recorder (its registry backs /metrics).
+func (c *Collector) Obs() *obs.Recorder { return c.rec }
+
+// Handle answers one request; it is the serve.Options.Handler of
+// cmd/squashprofd. Payload slices in req alias the connection's frame
+// buffer and are copied before anything retains them.
+func (c *Collector) Handle(req *serve.Request) *serve.Response {
+	start := c.now()
+	var resp *serve.Response
+	switch req.Op {
+	case serve.OpPing:
+		resp = &serve.Response{OK: true}
+	case serve.OpProfileRegister:
+		resp = c.register(req)
+	case serve.OpProfilePush:
+		resp = c.push(req)
+	case serve.OpProfileStatus:
+		resp = c.status(req)
+	case serve.OpProfileResquash:
+		resp = c.resquashOp(req)
+	default:
+		resp = &serve.Response{Err: fmt.Sprintf("unknown op %q (profile collector)", req.Op)}
+	}
+	c.logf("op=%s key=%.12s dur=%s ok=%v err=%q",
+		req.Op, req.ImageKey, c.now().Sub(start).Round(time.Microsecond), resp.OK, resp.Err)
+	return resp
+}
+
+// register enrolls a squashed image: its bytes (keyed by content), the
+// object and object-space profile it was squashed from, the squash config,
+// and a representative input. The squashed-space drift baseline is computed
+// here by running the image on that input. Re-registering an existing key
+// replaces the entry (idempotent for identical payloads).
+func (c *Collector) register(req *serve.Request) *serve.Response {
+	if len(req.Image) == 0 || len(req.Obj) == 0 || len(req.Profile) == 0 {
+		return &serve.Response{Err: "profile-register needs image, obj, and profile bytes"}
+	}
+	baseObjProf, err := profile.ReadCounts(bytes.NewReader(req.Profile))
+	if err != nil {
+		return &serve.Response{Err: fmt.Sprintf("bad profile: %v", err)}
+	}
+	conf := core.DefaultConfig()
+	if req.Config != nil {
+		conf = *req.Config
+	}
+	key := imageKey(req.Image)
+	input := capInput(req.Input, c.opts.MaxInputBytes)
+
+	// The baseline run happens outside the lock: it is pure computation on
+	// this request's (copied) bytes.
+	image := append([]byte(nil), req.Image...)
+	_, baseCounts, _, err := runImage(image, input, true)
+	if err != nil {
+		return &serve.Response{Err: fmt.Sprintf("baseline run: %v", err)}
+	}
+
+	st := &imageState{
+		entryMeta: entryMeta{
+			Key:        key,
+			CurrentKey: key,
+			Config:     conf,
+		},
+		obj:         append([]byte(nil), req.Obj...),
+		regImage:    image,
+		curImage:    image,
+		baseObjProf: baseObjProf,
+		baseCounts:  baseCounts,
+		regInput:    input,
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.images[key]; ok {
+		delete(c.byKey, old.CurrentKey)
+	}
+	c.images[key] = st
+	c.byKey[key] = st
+	if err := st.saveAll(c.opts.Dir); err != nil {
+		return &serve.Response{Err: fmt.Sprintf("persist: %v", err)}
+	}
+	c.rec.Metrics.Counter("profilefeed_registers_total").Inc()
+	c.rec.Metrics.Gauge("profilefeed_images").Set(int64(len(c.images)))
+	c.publish(st)
+	return &serve.Response{OK: true, ImageKey: key, Feed: c.feedOf(st)}
+}
+
+// push aggregates one fleet run's profile into its image's live window,
+// recomputes drift, and fires the automatic re-squash when warranted. A
+// push for a superseded key (a fleet member still on an old image) is
+// acknowledged but not aggregated — its counts are in the wrong address
+// space — and the response's Feed tells the pusher the current key.
+func (c *Collector) push(req *serve.Request) *serve.Response {
+	if req.ImageKey == "" || len(req.Profile) == 0 {
+		return &serve.Response{Err: "profile-push needs image_key and profile bytes"}
+	}
+	counts, err := profile.ReadCounts(bytes.NewReader(req.Profile))
+	if err != nil {
+		return &serve.Response{Err: fmt.Sprintf("bad profile: %v", err)}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.byKey[req.ImageKey]
+	if !ok {
+		c.rec.Metrics.Counter("profilefeed_unknown_pushes_total").Inc()
+		return &serve.Response{Err: fmt.Sprintf("unknown image key %.12s… (register it first)", req.ImageKey)}
+	}
+	if req.ImageKey != st.CurrentKey {
+		st.StalePushes++
+		c.rec.Metrics.Counter("profilefeed_stale_pushes_total", obs.L("image", short(st.Key))).Inc()
+		st.saveMeta(c.opts.Dir)
+		return &serve.Response{OK: true, ImageKey: st.CurrentKey, Feed: c.feedOf(st)}
+	}
+
+	now := c.now()
+	if hl := c.opts.DecayHalfLife; hl > 0 && !st.lastPush.IsZero() {
+		if dt := now.Sub(st.lastPush); dt > 0 {
+			profile.Decay(st.live, math.Pow(0.5, dt.Seconds()/hl.Seconds()))
+		}
+	}
+	st.live = profile.Merge(st.live, counts)
+	st.Samples++
+	st.WindowSamples++
+	st.lastPush = now
+	if len(req.Input) > 0 {
+		st.lastInput = capInput(req.Input, c.opts.MaxInputBytes)
+	}
+	c.rec.Metrics.Counter("profilefeed_pushes_total", obs.L("image", short(st.Key))).Inc()
+	c.rec.Metrics.Counter("profilefeed_push_bytes_total").Add(uint64(len(req.Profile) + len(req.Input)))
+
+	var report *serve.ResquashReport
+	drift := c.driftOf(st)
+	if c.opts.Threshold > 0 && drift.Score >= c.opts.Threshold &&
+		st.WindowSamples >= c.opts.MinSamples &&
+		(st.lastResquash.IsZero() || now.Sub(st.lastResquash) >= c.opts.Cooldown) {
+		rep, err := c.resquashLocked(st, drift.Score, false)
+		if err != nil {
+			c.logf("auto re-squash of %.12s failed: %v", st.Key, err)
+			c.rec.Metrics.Counter("profilefeed_resquash_errors_total", obs.L("image", short(st.Key))).Inc()
+		} else {
+			report = rep
+		}
+	}
+	if err := st.saveWindow(c.opts.Dir); err != nil {
+		return &serve.Response{Err: fmt.Sprintf("persist: %v", err)}
+	}
+	c.publish(st)
+	return &serve.Response{OK: true, ImageKey: st.CurrentKey, Feed: c.feedOf(st), Resquash: report}
+}
+
+// status reports every image's aggregation state (or one image's, when the
+// request names a key).
+func (c *Collector) status(req *serve.Request) *serve.Response {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.ImageKey != "" {
+		st, ok := c.byKey[req.ImageKey]
+		if !ok {
+			return &serve.Response{Err: fmt.Sprintf("unknown image key %.12s…", req.ImageKey)}
+		}
+		return &serve.Response{OK: true, Feed: c.feedOf(st)}
+	}
+	snap := &serve.FeedSnapshot{Images: []serve.FeedImageStatus{}}
+	for _, st := range sortedStates(c.images) {
+		snap.Images = append(snap.Images, c.statusOf(st))
+	}
+	return &serve.Response{OK: true, Feed: snap}
+}
+
+// resquashOp is the operator-facing forced re-squash (Force skips the
+// threshold; without Force the current drift must be past it).
+func (c *Collector) resquashOp(req *serve.Request) *serve.Response {
+	if req.ImageKey == "" {
+		return &serve.Response{Err: "profile-resquash needs image_key"}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.byKey[req.ImageKey]
+	if !ok {
+		return &serve.Response{Err: fmt.Sprintf("unknown image key %.12s…", req.ImageKey)}
+	}
+	drift := c.driftOf(st)
+	if !req.Force && (c.opts.Threshold <= 0 || drift.Score < c.opts.Threshold) {
+		return &serve.Response{Err: fmt.Sprintf("drift %.4f below threshold %.4f (use force)", drift.Score, c.opts.Threshold)}
+	}
+	rep, err := c.resquashLocked(st, drift.Score, req.Force)
+	if err != nil {
+		c.rec.Metrics.Counter("profilefeed_resquash_errors_total", obs.L("image", short(st.Key))).Inc()
+		return &serve.Response{Err: err.Error()}
+	}
+	if err := st.saveAll(c.opts.Dir); err != nil {
+		return &serve.Response{Err: fmt.Sprintf("persist: %v", err)}
+	}
+	c.publish(st)
+	return &serve.Response{OK: true, ImageKey: st.CurrentKey, Image: st.curImage, Feed: c.feedOf(st), Resquash: rep}
+}
+
+// driftOf measures the live window against the squashed-space baseline over
+// the image's squash-time θ partition.
+func (c *Collector) driftOf(st *imageState) profile.DriftStats {
+	return profile.ComputeDrift(st.baseCounts, st.live, st.Config.Theta)
+}
+
+// statusOf renders one image's wire status (caller holds the lock).
+func (c *Collector) statusOf(st *imageState) serve.FeedImageStatus {
+	staleness := -1.0
+	if !st.lastPush.IsZero() {
+		staleness = c.now().Sub(st.lastPush).Seconds()
+	}
+	return serve.FeedImageStatus{
+		Key:          st.Key,
+		CurrentKey:   st.CurrentKey,
+		Samples:      st.Samples,
+		BaseWeight:   profile.Total(st.baseCounts),
+		LiveWeight:   profile.Total(st.live),
+		StalenessSec: staleness,
+		Theta:        st.Config.Theta,
+		Drift:        c.driftOf(st),
+		Threshold:    c.opts.Threshold,
+		Resquashes:   st.Resquashes,
+		LastResquash: st.LastReport,
+	}
+}
+
+func (c *Collector) feedOf(st *imageState) *serve.FeedSnapshot {
+	return &serve.FeedSnapshot{Images: []serve.FeedImageStatus{c.statusOf(st)}}
+}
+
+// publish refreshes the per-image metrics: drift components as float
+// gauges in [0,1], weights and counters as integer gauges, staleness as an
+// age gauge. Labels use the registration key's short prefix to keep the
+// label space readable.
+func (c *Collector) publish(st *imageState) {
+	m := c.rec.Metrics
+	img := obs.L("image", short(st.Key))
+	d := c.driftOf(st)
+	m.FloatGauge("profilefeed_drift_score", img).Set(d.Score)
+	m.FloatGauge("profilefeed_drift_cold_excess", img).Set(d.ColdExcess)
+	m.FloatGauge("profilefeed_drift_hot_mass_tv", img).Set(d.HotMassTV)
+	m.FloatGauge("profilefeed_cold_mass_live", img).Set(d.ColdMassLive)
+	m.Gauge("profilefeed_live_weight", img).Set(int64(profile.Total(st.live)))
+	m.Gauge("profilefeed_base_weight", img).Set(int64(profile.Total(st.baseCounts)))
+	m.Gauge("profilefeed_samples", img).Set(int64(st.Samples))
+	m.Gauge("profilefeed_window_samples", img).Set(int64(st.WindowSamples))
+	m.Gauge("profilefeed_resquashes", img).Set(int64(st.Resquashes))
+	staleness := int64(-1)
+	if !st.lastPush.IsZero() {
+		staleness = int64(c.now().Sub(st.lastPush).Seconds())
+	}
+	m.Gauge("profilefeed_staleness_sec", img).Set(staleness)
+	if r := st.LastReport; r != nil {
+		m.FloatGauge("profilefeed_miss_before", img).Set(r.MissBefore)
+		m.FloatGauge("profilefeed_miss_after", img).Set(r.MissAfter)
+	}
+}
+
+// short is the label-friendly key prefix.
+func short(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}
+
+func capInput(in []byte, max int) []byte {
+	if len(in) == 0 {
+		return nil
+	}
+	if len(in) > max {
+		in = in[:max]
+	}
+	return append([]byte(nil), in...)
+}
+
+// sortedStates returns the entries in deterministic (key) order.
+func sortedStates(m map[string]*imageState) []*imageState {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*imageState, len(keys))
+	for i, k := range keys {
+		out[i] = m[k]
+	}
+	return out
+}

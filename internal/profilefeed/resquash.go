@@ -1,0 +1,169 @@
+package profilefeed
+
+// The re-squash path closes the paper's feedback loop: when the fleet's
+// live profile has drifted from the profile an image was squashed with, the
+// image is squashed again with a profile that reflects the live workload.
+//
+// The merged profile must be in the object's address space, but fleet
+// pushes are in the squashed image's space. The bridge is a replay: link
+// the stored object uncompressed and run it on the last pushed (drifted)
+// input under the in-process VM, producing object-space counts for exactly
+// the workload that drifted; merge those with the object-space profile from
+// registration and squash with the merged vector. Verification then runs
+// the old and new images on the same drifted input — outputs must be
+// byte-identical, and the two runs' buffer-miss rates are the loop's
+// before/after evidence.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/objfile"
+	"repro/internal/obs"
+	"repro/internal/profile"
+	"repro/internal/serve"
+)
+
+// resquashLocked re-squashes st with the merged live profile; the caller
+// holds the collector mutex. On success the entry's current image, keys,
+// baselines, and window are all advanced and persisted state is left to the
+// caller's save. score is the drift score that triggered the run (recorded
+// in the report); forced marks an operator override.
+func (c *Collector) resquashLocked(st *imageState, score float64, forced bool) (*serve.ResquashReport, error) {
+	input := st.lastInput
+	if len(input) == 0 {
+		input = st.regInput
+	}
+	if len(input) == 0 {
+		return nil, fmt.Errorf("no input available for re-squash replay (register or push with input bytes)")
+	}
+
+	// Regenerate the live workload's profile in object space.
+	objCounts, err := linkAndRun(st.obj, input)
+	if err != nil {
+		return nil, err
+	}
+	merged := profile.Merge(append(profile.Counts(nil), st.baseObjProf...), objCounts)
+
+	newImage, err := c.squash(st.obj, merged, st.Config)
+	if err != nil {
+		return nil, fmt.Errorf("re-squash: %w", err)
+	}
+
+	// Verify on the drifted input: identical output, and the before/after
+	// buffer-miss evidence from the same two runs.
+	outOld, _, oldInfo, err := runImage(st.curImage, input, false)
+	if err != nil {
+		return nil, fmt.Errorf("verification run (old image): %w", err)
+	}
+	outNew, newBase, newInfo, err := runImage(newImage, input, true)
+	if err != nil {
+		return nil, fmt.Errorf("verification run (new image): %w", err)
+	}
+	report := &serve.ResquashReport{
+		NewKey:      imageKey(newImage),
+		DriftScore:  score,
+		Forced:      forced,
+		OutputOK:    bytes.Equal(outOld, outNew),
+		MissBefore:  oldInfo.missRate(),
+		MissAfter:   newInfo.missRate(),
+		EvictBefore: oldInfo.Evictions,
+		EvictAfter:  newInfo.Evictions,
+		UnixSec:     c.now().Unix(),
+	}
+	if !report.OutputOK {
+		return nil, fmt.Errorf("re-squashed image diverged: old and new outputs differ on the verification input (%d vs %d bytes)",
+			len(outOld), len(outNew))
+	}
+
+	// Adopt: the new image becomes current, future pushes route by its
+	// key, the object-space baseline becomes the merged profile, and the
+	// squashed-space baseline is the new image's own run on the input it
+	// was optimized for. The live window resets — its counts are in the
+	// old image's space.
+	dir := st.dir(c.opts.Dir)
+	if err := writeFileAtomic(filepath.Join(dir, curImageFile), newImage); err != nil {
+		return nil, fmt.Errorf("persist new image: %w", err)
+	}
+	report.ImagePath = filepath.Join(dir, curImageFile)
+	if c.opts.OutDir != "" {
+		out := filepath.Join(c.opts.OutDir, report.NewKey+".sqz.exe")
+		if err := os.MkdirAll(c.opts.OutDir, 0o755); err == nil {
+			if err := writeFileAtomic(out, newImage); err == nil {
+				report.ImagePath = out
+			}
+		}
+	}
+	delete(c.byKey, st.CurrentKey)
+	if _, taken := c.byKey[report.NewKey]; taken && report.NewKey != st.Key {
+		// Pathological: another entry already owns the new key. Keep both
+		// routable; the other entry wins pushes for that key.
+		c.logf("re-squash of %.12s produced an image already registered as %.12s", st.Key, report.NewKey)
+	} else {
+		c.byKey[report.NewKey] = st
+	}
+	c.byKey[st.Key] = st
+	st.CurrentKey = report.NewKey
+	st.curImage = newImage
+	st.baseObjProf = merged
+	st.baseCounts = newBase
+	st.live = nil
+	st.WindowSamples = 0
+	st.Resquashes++
+	st.lastResquash = c.now()
+	st.LastReport = report
+
+	m := c.rec.Metrics
+	img := obs.L("image", short(st.Key))
+	m.Counter("profilefeed_resquashes_total", img).Inc()
+	c.logf("re-squash %.12s -> %.12s drift=%.4f forced=%v miss %.6f -> %.6f evict %d -> %d",
+		st.Key, report.NewKey, score, forced, report.MissBefore, report.MissAfter,
+		report.EvictBefore, report.EvictAfter)
+	return report, nil
+}
+
+// squash produces the new image bytes for obj + merged profile + conf —
+// through the squashd backend when one is configured (its output is
+// byte-identical to the in-process pipeline), in-process otherwise.
+func (c *Collector) squash(objBytes []byte, merged profile.Counts, conf core.Config) ([]byte, error) {
+	var prof bytes.Buffer
+	if _, err := merged.WriteTo(&prof); err != nil {
+		return nil, err
+	}
+	if c.opts.SquashAddr != "" {
+		cl, err := serve.DialClient(c.opts.SquashAddr)
+		if err != nil {
+			return nil, fmt.Errorf("dial squash backend: %w", err)
+		}
+		defer cl.Close()
+		resp, err := cl.Do(&serve.Request{
+			Op: serve.OpSquash, Obj: objBytes, Profile: prof.Bytes(), Config: &conf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("squash backend: %w", err)
+		}
+		if !resp.OK {
+			return nil, fmt.Errorf("squash backend: %s", resp.Err)
+		}
+		if len(resp.Image) == 0 {
+			return nil, fmt.Errorf("squash backend returned no image")
+		}
+		return resp.Image, nil
+	}
+	obj, err := objfile.ReadObject(bytes.NewReader(objBytes))
+	if err != nil {
+		return nil, fmt.Errorf("bad stored object: %w", err)
+	}
+	out, err := core.SquashObs(obj, merged, conf, c.rec)
+	if err != nil {
+		return nil, err
+	}
+	var img bytes.Buffer
+	if _, err := out.Image.WriteTo(&img); err != nil {
+		return nil, err
+	}
+	return img.Bytes(), nil
+}

@@ -190,6 +190,14 @@ func (o *wireOp) UnmarshalJSON(b []byte) error {
 		*o = OpDrain
 	case string(s) == OpUndrain:
 		*o = OpUndrain
+	case string(s) == OpProfileRegister:
+		*o = OpProfileRegister
+	case string(s) == OpProfilePush:
+		*o = OpProfilePush
+	case string(s) == OpProfileStatus:
+		*o = OpProfileStatus
+	case string(s) == OpProfileResquash:
+		*o = OpProfileResquash
 	default:
 		// Unknown op: keep the raw spelling so the server's error message
 		// can echo it. (Escape sequences stay unprocessed; an op that needs
@@ -202,15 +210,20 @@ func (o *wireOp) UnmarshalJSON(b []byte) error {
 // reqEnv is the v2 request envelope: Request with every []byte field
 // replaced by its payload section reference.
 type reqEnv struct {
-	Op      wireOp       `json:"op"`
-	Obj     secRef       `json:"obj"`
-	Profile secRef       `json:"profile"`
-	Config  *core.Config `json:"config,omitempty"`
-	Bench   string       `json:"bench,omitempty"`
-	Scale   float64      `json:"scale,omitempty"`
-	NoImage bool         `json:"no_image,omitempty"`
-	Items   []itemEnv    `json:"items,omitempty"`
-	Backend string       `json:"backend,omitempty"`
+	Op       wireOp       `json:"op"`
+	Obj      secRef       `json:"obj"`
+	Profile  secRef       `json:"profile"`
+	Image    secRef       `json:"image"`
+	Input    secRef       `json:"input"`
+	Config   *core.Config `json:"config,omitempty"`
+	Bench    string       `json:"bench,omitempty"`
+	Scale    float64      `json:"scale,omitempty"`
+	NoImage  bool         `json:"no_image,omitempty"`
+	Items    []itemEnv    `json:"items,omitempty"`
+	Backend  string       `json:"backend,omitempty"`
+	ImageKey string       `json:"image_key,omitempty"`
+	Run      *RunMeta     `json:"run,omitempty"`
+	Force    bool         `json:"force,omitempty"`
 }
 
 type itemEnv struct {
@@ -233,6 +246,9 @@ type respEnv struct {
 	Results    []resultEnv      `json:"results,omitempty"`
 	Server     *Snapshot        `json:"server,omitempty"`
 	Cluster    *ClusterSnapshot `json:"cluster,omitempty"`
+	Feed       *FeedSnapshot    `json:"feed,omitempty"`
+	Resquash   *ResquashReport  `json:"resquash,omitempty"`
+	ImageKey   string           `json:"image_key,omitempty"`
 	ProtoMax   int              `json:"proto_max,omitempty"`
 }
 
@@ -357,14 +373,19 @@ func writeRequestV2(bw *bufio.Writer, sc *frameScratch, req *Request) error {
 	t := secTable{secs: sc.secs[:0]}
 	e := &sc.reqEnv
 	*e = reqEnv{
-		Op:      wireOp(req.Op),
-		Obj:     t.add(req.Obj),
-		Profile: t.add(req.Profile),
-		Config:  req.Config,
-		Bench:   req.Bench,
-		Scale:   req.Scale,
-		NoImage: req.NoImage,
-		Backend: req.Backend,
+		Op:       wireOp(req.Op),
+		Obj:      t.add(req.Obj),
+		Profile:  t.add(req.Profile),
+		Image:    t.add(req.Image),
+		Input:    t.add(req.Input),
+		Config:   req.Config,
+		Bench:    req.Bench,
+		Scale:    req.Scale,
+		NoImage:  req.NoImage,
+		Backend:  req.Backend,
+		ImageKey: req.ImageKey,
+		Run:      req.Run,
+		Force:    req.Force,
 	}
 	if len(req.Items) > 0 {
 		items := sc.items[:0]
@@ -401,6 +422,9 @@ func writeResponseV2(bw *bufio.Writer, sc *frameScratch, resp *Response) error {
 		PrepCached: resp.PrepCached,
 		Server:     resp.Server,
 		Cluster:    resp.Cluster,
+		Feed:       resp.Feed,
+		Resquash:   resp.Resquash,
+		ImageKey:   resp.ImageKey,
 		ProtoMax:   resp.ProtoMax,
 	}
 	if len(resp.Results) > 0 {
@@ -500,18 +524,27 @@ func decodeRequestV2(sc *frameScratch, env, pay []byte, fb *frameBuf, req *Reque
 	}
 	cur := secCursor{pay: pay}
 	*req = Request{
-		Op:      string(e.Op),
-		Config:  e.Config,
-		Bench:   e.Bench,
-		Scale:   e.Scale,
-		NoImage: e.NoImage,
-		Backend: e.Backend,
+		Op:       string(e.Op),
+		Config:   e.Config,
+		Bench:    e.Bench,
+		Scale:    e.Scale,
+		NoImage:  e.NoImage,
+		Backend:  e.Backend,
+		ImageKey: e.ImageKey,
+		Run:      e.Run,
+		Force:    e.Force,
 	}
 	var err error
 	if req.Obj, err = cur.take(e.Obj); err != nil {
 		return err
 	}
 	if req.Profile, err = cur.take(e.Profile); err != nil {
+		return err
+	}
+	if req.Image, err = cur.take(e.Image); err != nil {
+		return err
+	}
+	if req.Input, err = cur.take(e.Input); err != nil {
 		return err
 	}
 	if len(e.Items) > 0 {
@@ -550,7 +583,9 @@ func decodeResponseV2(sc *frameScratch, env, pay []byte, resp *Response) error {
 		OK: e.OK, Err: e.Err,
 		Stats: e.Stats, Foot: e.Foot,
 		Cached: e.Cached, PrepCached: e.PrepCached,
-		Server: e.Server, Cluster: e.Cluster, ProtoMax: e.ProtoMax,
+		Server: e.Server, Cluster: e.Cluster,
+		Feed: e.Feed, Resquash: e.Resquash, ImageKey: e.ImageKey,
+		ProtoMax: e.ProtoMax,
 	}
 	img, err := cur.take(e.Image)
 	if err != nil {

@@ -98,6 +98,95 @@ func TestFrameV2RoundTrip(t *testing.T) {
 	out.releasePayload() // idempotent
 }
 
+// TestFrameV2ProfileOpsRoundTrip: the profile-plane request fields — the
+// Image and Input payload sections, ImageKey, RunMeta, Force — and the
+// Feed/Resquash/ImageKey response fields survive encode/decode, and v1 JSON
+// framing carries them too.
+func TestFrameV2ProfileOpsRoundTrip(t *testing.T) {
+	in := &Request{
+		Op:       OpProfilePush,
+		Profile:  []byte("EMP1 counts"),
+		Image:    []byte("squashed image bytes"),
+		Input:    []byte("run input"),
+		ImageKey: "abc123",
+		Run:      &RunMeta{Instructions: 1000, Cycles: 2500, Decompressions: 7, Evictions: 3, BitsRead: 99, Source: "host-1"},
+		Force:    true,
+	}
+	data := encodeV2Request(t, in)
+
+	br := bufio.NewReader(bytes.NewReader(data))
+	fb, env, pay, err := readFrameBodyV2(br)
+	if err != nil {
+		t.Fatalf("readFrameBodyV2: %v", err)
+	}
+	sc := getFrameScratch()
+	defer putFrameScratch(sc)
+	var out Request
+	if err := decodeRequestV2(sc, env, pay, fb, &out); err != nil {
+		t.Fatalf("decodeRequestV2: %v", err)
+	}
+	if out.Op != OpProfilePush || out.ImageKey != "abc123" || !out.Force {
+		t.Fatalf("scalar fields diverged: %+v", out)
+	}
+	if !bytes.Equal(out.Profile, in.Profile) || !bytes.Equal(out.Image, in.Image) || !bytes.Equal(out.Input, in.Input) {
+		t.Fatalf("payloads diverged: profile=%q image=%q input=%q", out.Profile, out.Image, out.Input)
+	}
+	if out.Run == nil || *out.Run != *in.Run {
+		t.Fatalf("run meta diverged: %+v", out.Run)
+	}
+	out.releasePayload()
+
+	resp := &Response{
+		OK:       true,
+		Image:    []byte("new image"),
+		ImageKey: "def456",
+		Feed: &FeedSnapshot{Images: []FeedImageStatus{{
+			Key: "abc123", Samples: 4, Theta: 0.0001, Threshold: 0.25,
+		}}},
+		Resquash: &ResquashReport{NewKey: "def456", DriftScore: 0.42, OutputOK: true, MissBefore: 0.01, MissAfter: 0.002},
+	}
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := writeResponseV2(bw, sc, resp); err != nil {
+		t.Fatalf("writeResponseV2: %v", err)
+	}
+	bw.Flush()
+	fb2, env2, pay2, err := readFrameBodyV2(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatalf("readFrameBodyV2 (resp): %v", err)
+	}
+	defer fb2.release()
+	var rout Response
+	if err := decodeResponseV2(sc, env2, pay2, &rout); err != nil {
+		t.Fatalf("decodeResponseV2: %v", err)
+	}
+	if rout.ImageKey != "def456" || rout.Feed == nil || len(rout.Feed.Images) != 1 ||
+		rout.Feed.Images[0].Key != "abc123" || rout.Feed.Images[0].Threshold != 0.25 {
+		t.Fatalf("feed diverged: %+v", rout.Feed)
+	}
+	if rout.Resquash == nil || rout.Resquash.NewKey != "def456" || !rout.Resquash.OutputOK ||
+		rout.Resquash.MissAfter != 0.002 {
+		t.Fatalf("resquash diverged: %+v", rout.Resquash)
+	}
+	if !bytes.Equal(rout.Image, resp.Image) {
+		t.Fatalf("image diverged: %q", rout.Image)
+	}
+
+	// v1 JSON framing must carry the same fields (base64 for payloads).
+	var v1buf bytes.Buffer
+	if err := WriteFrame(&v1buf, in); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	var v1out Request
+	if err := ReadFrame(&v1buf, &v1out); err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if !bytes.Equal(v1out.Image, in.Image) || !bytes.Equal(v1out.Input, in.Input) ||
+		v1out.ImageKey != in.ImageKey || v1out.Run == nil || *v1out.Run != *in.Run || !v1out.Force {
+		t.Fatalf("v1 framing diverged: %+v", v1out)
+	}
+}
+
 // TestFrameV2ResponseRoundTrip: responses round-trip with the image copied
 // out of the frame buffer — a retained response must survive the buffer's
 // recycling.

@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/profile"
 )
 
 // MaxFrame bounds one frame's JSON body. Squashed mediabench images are a
@@ -64,6 +65,24 @@ const (
 	// reverses it.
 	OpDrain   = "drain"
 	OpUndrain = "undrain"
+
+	// Profile-plane operations, answered only by the profile collector
+	// (cmd/squashprofd); a plain squashd rejects them as unknown ops.
+	// OpProfileRegister enrolls a squashed image with the collector: the
+	// image bytes (keyed by their sha256), the object and baseline profile
+	// it was squashed from, the squash config, and a representative input
+	// for baseline and verification runs.
+	OpProfileRegister = "profile-register"
+	// OpProfilePush ships one run's execution profile from an em-run fleet
+	// member: the image key, the EMP1 counts, run metadata, and (capped)
+	// the input bytes that drove the run.
+	OpProfilePush = "profile-push"
+	// OpProfileStatus reports the collector's per-image aggregation state
+	// (drift scores, sample counts, staleness) as a FeedSnapshot.
+	OpProfileStatus = "profile-status"
+	// OpProfileResquash forces a re-squash of the image named by ImageKey
+	// with the live merged profile, regardless of the drift threshold.
+	OpProfileResquash = "profile-resquash"
 )
 
 // MaxBatchItems bounds one OpBatch frame's object count. The ceiling keeps
@@ -102,10 +121,39 @@ type Request struct {
 	// OpDrain and OpUndrain.
 	Backend string `json:"backend,omitempty"`
 
+	// Profile-plane fields (cmd/squashprofd). Image carries the squashed
+	// executable bytes on OpProfileRegister; Input carries run input bytes
+	// on register (verification input) and push (the live workload). Both
+	// travel as v2 payload sections. ImageKey names the registered image
+	// (sha256 hex of its bytes) on push/status/resquash; Run carries one
+	// run's metadata on push; Force on OpProfileResquash re-squashes even
+	// below the drift threshold.
+	Image    []byte   `json:"image,omitempty"`
+	Input    []byte   `json:"input,omitempty"`
+	ImageKey string   `json:"image_key,omitempty"`
+	Run      *RunMeta `json:"run,omitempty"`
+	Force    bool     `json:"force,omitempty"`
+
 	// fb is the pooled v2 frame buffer this request's payload slices alias
 	// (nil for v1 requests, which copy during JSON decode). The dispatch
 	// path releases it once the request can no longer be read.
 	fb *frameBuf
+}
+
+// RunMeta is one fleet run's metadata, shipped alongside its profile on
+// OpProfilePush. The counter fields mirror core.RuntimeStats.
+type RunMeta struct {
+	// Instructions and Cycles are the run's dynamic totals.
+	Instructions uint64 `json:"instructions"`
+	Cycles       uint64 `json:"cycles,omitempty"`
+	ExitStatus   int32  `json:"exit_status,omitempty"`
+	// Decompressions, Evictions, and BitsRead are the decompression
+	// runtime's counters (zero for runs of unsquashed binaries).
+	Decompressions uint64 `json:"decompressions,omitempty"`
+	Evictions      uint64 `json:"evictions,omitempty"`
+	BitsRead       uint64 `json:"bits_read,omitempty"`
+	// Source labels the pushing fleet member (free-form; host, pod, …).
+	Source string `json:"source,omitempty"`
 }
 
 // releasePayload recycles the frame buffer backing Obj, Profile, and the
@@ -174,10 +222,86 @@ type Response struct {
 	// Cluster carries the OpCluster answer from a router.
 	Cluster *ClusterSnapshot `json:"cluster,omitempty"`
 
+	// Feed carries the profile collector's answer to OpProfileStatus (all
+	// images) and OpProfilePush/OpProfileRegister (the affected image).
+	Feed *FeedSnapshot `json:"feed,omitempty"`
+
+	// Resquash carries the OpProfileResquash outcome; the re-squashed
+	// image's bytes travel in Image.
+	Resquash *ResquashReport `json:"resquash,omitempty"`
+
+	// ImageKey echoes the registered image's content key on
+	// OpProfileRegister.
+	ImageKey string `json:"image_key,omitempty"`
+
 	// ProtoMax is set on version-negotiation error responses: the highest
 	// protocol version the server speaks. A client that opened with a
 	// newer version downgrades and resends.
 	ProtoMax int `json:"proto_max,omitempty"`
+}
+
+// FeedImageStatus is one registered image's aggregation state in the
+// profile collector.
+type FeedImageStatus struct {
+	// Key is the registration key (sha256 hex of the registered image
+	// bytes). CurrentKey is the key of the image currently considered
+	// live — it diverges from Key after a re-squash.
+	Key        string `json:"key"`
+	CurrentKey string `json:"current_key,omitempty"`
+	Bench      string `json:"bench,omitempty"`
+
+	// Samples counts pushes aggregated into the live window since
+	// registration (re-squashes reset the window, not this counter).
+	Samples uint64 `json:"samples"`
+	// BaseWeight and LiveWeight are the dynamic instruction totals of the
+	// baseline profile and the decayed live aggregate.
+	BaseWeight uint64 `json:"base_weight"`
+	LiveWeight uint64 `json:"live_weight"`
+	// StalenessSec is the age of the newest aggregated push; negative
+	// means no push has arrived yet.
+	StalenessSec float64 `json:"staleness_sec"`
+
+	// Theta is the cold-code threshold the image was squashed with; Drift
+	// measures the live aggregate against the baseline over that
+	// partition; Threshold is the score that triggers a re-squash.
+	Theta     float64            `json:"theta"`
+	Drift     profile.DriftStats `json:"drift"`
+	Threshold float64            `json:"threshold"`
+
+	// Resquashes counts completed re-squashes; LastResquash is the most
+	// recent one's report (nil before the first).
+	Resquashes   uint64          `json:"resquashes,omitempty"`
+	LastResquash *ResquashReport `json:"last_resquash,omitempty"`
+}
+
+// FeedSnapshot is the profile collector's OpProfileStatus answer.
+type FeedSnapshot struct {
+	Images []FeedImageStatus `json:"images"`
+}
+
+// ResquashReport describes one completed re-squash: the adaptive loop's
+// before/after evidence.
+type ResquashReport struct {
+	// NewKey is the sha256 hex of the re-squashed image; ImagePath is
+	// where the collector persisted it.
+	NewKey    string `json:"new_key"`
+	ImagePath string `json:"image_path,omitempty"`
+	// DriftScore is the drift that triggered (or was observed at) the
+	// re-squash; Forced marks an operator-forced run below the threshold.
+	DriftScore float64 `json:"drift_score"`
+	Forced     bool    `json:"forced,omitempty"`
+	// OutputOK reports that old and new image produced byte-identical
+	// output on the verification input.
+	OutputOK bool `json:"output_ok"`
+	// MissBefore/MissAfter are buffer-miss rates (decompressions per
+	// dynamic instruction) of old vs new image on the drifted input;
+	// EvictBefore/EvictAfter the corresponding eviction counts.
+	MissBefore  float64 `json:"miss_before"`
+	MissAfter   float64 `json:"miss_after"`
+	EvictBefore uint64  `json:"evict_before"`
+	EvictAfter  uint64  `json:"evict_after"`
+	// UnixSec is the completion time.
+	UnixSec int64 `json:"unix_sec,omitempty"`
 }
 
 // BackendStatus is one backend's view in a ClusterSnapshot.

@@ -158,6 +158,17 @@ func (m *Machine) EnableProfile() {
 	m.Profile = make([]uint64, m.textWords)
 }
 
+// ProfileCounts returns the per-word execution counters as a copy (safe to
+// retain after further execution; convertible to profile.Counts, which this
+// package cannot import without a cycle through cfg's tests). Nil when
+// profiling was never enabled.
+func (m *Machine) ProfileCounts() []uint64 {
+	if m.Profile == nil {
+		return nil
+	}
+	return append([]uint64(nil), m.Profile...)
+}
+
 // InvalidateRange drops decode-cache entries for [lo, hi); hooks that write
 // instructions (the decompressor) must call this for the bytes they touch.
 func (m *Machine) InvalidateRange(lo, hi uint32) {

@@ -1,0 +1,188 @@
+#!/usr/bin/env bash
+# profile_smoke.sh — end-to-end proof of the continuous-profiling plane.
+# For each mediabench program it squashes with a training profile, registers
+# the image with a live squashprofd collector, and then simulates a fleet:
+# em-run -profile-push ships real execution profiles to the collector after
+# each run. Steady-state pushes (the training workload) must show zero
+# drift and must NOT trigger a re-squash; a pathology-input push (a
+# workload dominated by profile-cold trigger bytes) must drive drift past
+# the daemon's -resquash-threshold and fire the AUTOMATIC re-squash, which
+# must verify byte-identically (output_ok in the status report) — and the
+# re-squashed image written to -out-dir must produce the same program
+# output under em-run as the image it replaced. A second, operator-forced
+# re-squash of the new generation then exercises the forced path
+# ("output identical: true"). The collector's /metrics endpoint must
+# export the per-image profilefeed_* families (drift score, weights, miss
+# before/after), which are saved as an artifact when
+# PROFILE_SMOKE_ARTIFACTS is set. Finally SIGTERM must drain cleanly.
+#
+# Usage: scripts/profile_smoke.sh [bench ...]   (default: adpcm)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benches=("$@")
+[ ${#benches[@]} -gt 0 ] || benches=(adpcm)
+
+THETA=0.0001
+THRESHOLD=0.2
+METRICS_PORT="${PROFILE_SMOKE_METRICS_PORT:-9193}"
+
+work=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+echo "building tools..."
+go build -o "$work" ./cmd/mediabench ./cmd/em-as ./cmd/em-run ./cmd/squash ./cmd/squashprofd
+
+sock="unix:$work/profd.sock"
+"$work/squashprofd" -listen "$sock" -store "$work/store" \
+  -resquash-threshold "$THRESHOLD" -min-samples 1 -cooldown 1s \
+  -out-dir "$work/out" -metrics-addr "127.0.0.1:$METRICS_PORT" \
+  2> "$work/profd.log" &
+daemon_pid=$!
+for _ in $(seq 50); do
+  "$work/squashprofd" -connect "$sock" -ping > /dev/null 2>&1 && break
+  sleep 0.1
+done
+"$work/squashprofd" -connect "$sock" -ping
+
+# feed_field KEY FIELD — one field of the image's status from -status
+# -json, via a jq-ish python path ("drift.score", "resquashes", ...).
+feed_field() {
+  "$work/squashprofd" -connect "$sock" -status -json | python3 -c '
+import json, sys
+key, path = sys.argv[1], sys.argv[2]
+for im in json.load(sys.stdin)["images"]:
+    if im["key"] != key:
+        continue
+    v = im
+    for part in path.split("."):
+        v = v.get(part) if isinstance(v, dict) else None
+        if v is None:
+            break
+    print(v if v is not None else "")
+    break
+' "$1" "$2"
+}
+
+for b in "${benches[@]}"; do
+  echo "== $b =="
+  "$work/mediabench" -only "$b" -dir "$work"
+  "$work/em-as" -o "$work/$b.o" "$work/$b.s"
+  "$work/em-as" -link -o "$work/$b.exe" "$work/$b.s"
+  "$work/em-run" -in "$work/$b.prof.in" -profile "$work/$b.prof" \
+    "$work/$b.exe" > /dev/null
+  "$work/squash" -theta "$THETA" -profile "$work/$b.prof" \
+    -o "$work/$b.sqz.exe" "$work/$b.o" > /dev/null
+
+  # Register the deployed image: the object + profile + config it was
+  # squashed from, plus the training input as the verification workload.
+  "$work/squashprofd" -connect "$sock" -register "$work/$b.sqz.exe" \
+    -obj "$work/$b.o" -prof "$work/$b.prof" -input "$work/$b.prof.in" \
+    -theta "$THETA" | tee "$work/$b.register.out"
+  key=$(sed -n 's/^registered .* as \([0-9a-f]*\)$/\1/p' "$work/$b.register.out")
+  [ -n "$key" ] || { echo "FAIL: $b register printed no key" >&2; exit 1; }
+
+  # Steady state: the fleet runs the workload the image was squashed for.
+  # The live aggregate must match the baseline exactly — zero drift, and
+  # no re-squash fires even though the threshold is armed.
+  "$work/em-run" -in "$work/$b.prof.in" -profile-push "$sock" \
+    "$work/$b.sqz.exe" > /dev/null
+  steady=$(feed_field "$key" drift.score)
+  if ! python3 -c "import sys; sys.exit(0 if float('$steady') == 0.0 else 1)"; then
+    echo "FAIL: $b steady-state drift is $steady, want 0" >&2
+    exit 1
+  fi
+  if [ "$(feed_field "$key" resquashes)" != "" ]; then
+    echo "FAIL: $b re-squash fired on the steady-state workload" >&2
+    exit 1
+  fi
+  echo "$b: steady-state drift $steady, no re-squash"
+
+  # Workload shift: the pathology input keeps profile-cold code hot. The
+  # push must drive drift past the threshold and fire the AUTOMATIC
+  # re-squash inside the collector.
+  "$work/em-run" -in "$work/$b.path.in" -profile-push "$sock" \
+    "$work/$b.sqz.exe" > "$work/$b.path.old.out"
+  if [ "$(feed_field "$key" resquashes)" != "1" ]; then
+    echo "FAIL: $b automatic re-squash did not fire on the shifted workload" >&2
+    exit 1
+  fi
+  shifted=$(feed_field "$key" last_resquash.drift_score)
+  if ! python3 -c "import sys; sys.exit(0 if float('$shifted') >= float('$THRESHOLD') else 1)"; then
+    echo "FAIL: $b recorded drift $shifted below threshold $THRESHOLD" >&2
+    exit 1
+  fi
+  if [ "$(feed_field "$key" last_resquash.output_ok)" != "True" ]; then
+    echo "FAIL: $b automatic re-squash was not verified output-identical" >&2
+    exit 1
+  fi
+  newkey=$(feed_field "$key" current_key)
+  if [ -z "$newkey" ] || [ "$newkey" = "$key" ]; then
+    echo "FAIL: $b image key did not roll after the automatic re-squash" >&2
+    exit 1
+  fi
+  echo "$b: automatic re-squash fired at drift $shifted ($key -> $newkey)"
+
+  # Independent check under em-run: the adopted image from -out-dir
+  # computes the same function on the shifted workload as the image it
+  # replaced.
+  [ -f "$work/out/$newkey.sqz.exe" ] || {
+    echo "FAIL: $b re-squashed image missing from -out-dir" >&2
+    exit 1
+  }
+  "$work/em-run" -in "$work/$b.path.in" "$work/out/$newkey.sqz.exe" \
+    > "$work/$b.path.new.out"
+  cmp "$work/$b.path.old.out" "$work/$b.path.new.out" || {
+    echo "FAIL: $b re-squashed image output differs on the shifted workload" >&2
+    exit 1
+  }
+
+  # Operator-forced path on the new generation: below threshold (fresh
+  # window), so -force is required, and verification must hold again.
+  "$work/squashprofd" -connect "$sock" -resquash "$newkey" -force \
+    -o "$work/$b.resqz.exe" | tee "$work/$b.resquash.out"
+  grep -q "output identical: true" "$work/$b.resquash.out" || {
+    echo "FAIL: $b forced re-squash was not verified output-identical" >&2
+    exit 1
+  }
+  "$work/em-run" -in "$work/$b.path.in" "$work/$b.resqz.exe" > "$work/$b.path.forced.out"
+  cmp "$work/$b.path.old.out" "$work/$b.path.forced.out" || {
+    echo "FAIL: $b forced re-squash image output differs" >&2
+    exit 1
+  }
+  echo "$b: forced re-squash of the new generation verified"
+done
+
+# The metrics endpoint must export the per-image profile-plane families.
+curl -fsS "http://127.0.0.1:$METRICS_PORT/metrics" > "$work/metrics.txt"
+for family in profilefeed_drift_score profilefeed_live_weight \
+  profilefeed_samples profilefeed_resquashes profilefeed_miss_before \
+  profilefeed_miss_after; do
+  grep -q "^$family" "$work/metrics.txt" || {
+    echo "FAIL: /metrics is missing $family" >&2
+    exit 1
+  }
+done
+curl -fsS "http://127.0.0.1:$METRICS_PORT/metrics.json" > "$work/metrics.json"
+python3 -m json.tool < "$work/metrics.json" > /dev/null
+echo "metrics endpoint exports the profilefeed_* families"
+
+if [ -n "${PROFILE_SMOKE_ARTIFACTS:-}" ]; then
+  mkdir -p "$PROFILE_SMOKE_ARTIFACTS"
+  cp "$work/metrics.txt" "$work/metrics.json" "$work/profd.log" "$PROFILE_SMOKE_ARTIFACTS/"
+  for b in "${benches[@]}"; do
+    cp "$work/$b.resquash.out" "$PROFILE_SMOKE_ARTIFACTS/" 2>/dev/null || true
+  done
+  echo "artifacts in $PROFILE_SMOKE_ARTIFACTS"
+fi
+
+# Clean drain under SIGTERM.
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+daemon_pid=""
+echo "profile smoke OK"
